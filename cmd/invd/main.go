@@ -1,0 +1,105 @@
+// Command invd is the Inversion file server daemon: it opens (or
+// bootstraps) a database over the configured devices, registers the
+// standard file types and classification functions, and serves the
+// Inversion protocol over TCP. Clients link the wire client library
+// (the paper's "special library") or use the inv and invql tools.
+//
+// Usage:
+//
+//	invd -addr :4817 -buffers 300 -devices disk,jukebox,mem
+//
+// The database lives in memory behind simulated devices: this daemon
+// exists to exercise the client/server architecture, not to persist
+// data across restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/inversion"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4817", "listen address")
+		buffers = flag.Int("buffers", 300, "shared buffer cache pages")
+		devices = flag.String("devices", "disk,mem", "comma-separated device classes: disk, mem, jukebox")
+		dflt    = flag.String("default", "", "default device class for new files")
+		data    = flag.String("data", "", "backing file for a persistent database (overrides -devices)")
+	)
+	flag.Parse()
+	if err := run(*addr, *buffers, *devices, *dflt, *data); err != nil {
+		fmt.Fprintln(os.Stderr, "invd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, buffers int, devices, dflt, data string) error {
+	var (
+		db      *inversion.DB
+		fd      *inversion.FileDiskDevice
+		err     error
+		devDesc = devices
+	)
+	if data != "" {
+		db, fd, err = inversion.OpenPersistent(data, inversion.Options{Buffers: buffers})
+		if err != nil {
+			return err
+		}
+		devDesc = "persistent file " + data
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				log.Printf("invd: flush on shutdown: %v", cerr)
+			}
+			if cerr := fd.Close(); cerr != nil {
+				log.Printf("invd: closing backing file: %v", cerr)
+			}
+		}()
+	} else {
+		sw := inversion.NewDeviceSwitch()
+		clock := inversion.NewClock()
+		for _, class := range strings.Split(devices, ",") {
+			switch strings.TrimSpace(class) {
+			case "disk":
+				sw.Register(inversion.NewDiskDevice(clock))
+			case "mem":
+				sw.Register(inversion.NewMemDevice(nil, 0))
+			case "jukebox":
+				sw.Register(inversion.NewJukeboxDevice(clock))
+			case "":
+			default:
+				return fmt.Errorf("unknown device class %q", class)
+			}
+		}
+		if dflt != "" {
+			if err := sw.SetDefault(dflt); err != nil {
+				return err
+			}
+		}
+		db, err = inversion.Open(sw, inversion.Options{Buffers: buffers, DefaultClass: dflt})
+		if err != nil {
+			return err
+		}
+	}
+	if err := inversion.RegisterStandardTypes(db.NewSession("invd")); err != nil {
+		return err
+	}
+	srv := inversion.NewServer(db)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("invd: serving Inversion on %s (%s)", bound, devDesc)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("invd: shutting down")
+	return srv.Close()
+}

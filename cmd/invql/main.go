@@ -1,0 +1,104 @@
+// Command invql is the POSTQUEL query monitor: an interactive shell for
+// running retrieve and define statements against a running invd server,
+// the equivalent of "the query language monitor program" the paper's
+// users ran for ad hoc queries over the file system.
+//
+//	invql [-addr host:port] [-e "retrieve (filename) where ..."]
+//
+// Without -e it reads statements from stdin, one per line; "asof N" may
+// trail a retrieve to query the past.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/inversion"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:4817", "invd server address")
+		expr = flag.String("e", "", "execute one statement and exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *expr); err != nil {
+		fmt.Fprintln(os.Stderr, "invql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, expr string) error {
+	c, err := inversion.Dial(addr, "invql")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if expr != "" {
+		return exec(c, expr)
+	}
+	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | quit")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("* ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "\\q" || line == "exit":
+			return nil
+		default:
+			if err := exec(c, line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		fmt.Print("* ")
+	}
+	return sc.Err()
+}
+
+func exec(c *inversion.Client, q string) error {
+	res, err := c.Query(q)
+	if err != nil {
+		return err
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+		return nil
+	}
+	// Column widths.
+	widths := make([]int, len(res.Columns))
+	for i, col := range res.Columns {
+		widths[i] = len(col)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, col := range res.Columns {
+		fmt.Printf("%-*s  ", widths[i], col)
+	}
+	fmt.Println()
+	for i := range res.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for i, s := range row {
+			fmt.Printf("%-*s  ", widths[i], s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}

@@ -1,0 +1,91 @@
+// Fileserver: because invfs adapts Inversion to io/fs, the whole Go
+// ecosystem works on top of the database file system unchanged — here,
+// net/http's file server. Time travel becomes a URL parameter: the
+// same server exposes every historical state of the tree under
+// /asof/<timestamp>/.
+//
+// The program starts the server on an ephemeral port, makes a few
+// requests against itself to demonstrate (including a request to the
+// past), and exits.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/inversion"
+	"repro/inversion/invfs"
+)
+
+func main() {
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.NewSession("webmaster")
+	if err := s.MkdirAll("/site"); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteFile("/site/index.html",
+		[]byte("<h1>Inversion, version 1</h1>\n"), inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	v1 := db.Manager().LastCommitTime()
+	if err := s.WriteFile("/site/index.html",
+		[]byte("<h1>Inversion, version 2 — now with time travel</h1>\n"), inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	// Current state at /.
+	mux.Handle("/", http.FileServer(http.FS(invfs.New(s))))
+	// Any historical state at /asof/<nanoseconds>/...
+	mux.HandleFunc("/asof/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/asof/")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			http.Error(w, "usage: /asof/<timestamp>/path", http.StatusBadRequest)
+			return
+		}
+		ts, err := strconv.ParseInt(rest[:slash], 10, 64)
+		if err != nil {
+			http.Error(w, "bad timestamp", http.StatusBadRequest)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = rest[slash:]
+		http.FileServer(http.FS(invfs.NewAsOf(s, ts))).ServeHTTP(w, r2)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving the Inversion file system at %s\n\n", base)
+
+	get := func(url string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %-28s -> %s  %s", strings.TrimPrefix(url, base), resp.Status, body)
+		fmt.Println()
+	}
+
+	get(base + "/site/index.html")
+	get(fmt.Sprintf("%s/asof/%d/site/index.html", base, v1))
+	get(base + "/site/missing.html")
+
+	_ = srv.Close()
+	fmt.Println("the same server, serving present and past from one database")
+}

@@ -1,0 +1,113 @@
+// Queries: ad hoc POSTQUEL over the file system's namespace, metadata,
+// and contents. Builds a small home-directory tree with typed files,
+// defines a new type and function at run time, and answers the paper's
+// example queries — including one against the past.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/inversion"
+)
+
+func main() {
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.NewSession("mao")
+	if err := inversion.RegisterStandardTypes(s); err != nil {
+		log.Fatal(err)
+	}
+	eng := inversion.NewQueryEngine(db)
+
+	// Define extra media types so the paper's movie/sound query works.
+	for _, q := range []string{
+		`define type "movie" doc "digital video"`,
+		`define type "sound" doc "digital audio"`,
+	} {
+		if _, err := eng.Run(s, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Populate /users/mao.
+	if err := s.MkdirAll("/users/mao"); err != nil {
+		log.Fatal(err)
+	}
+	puts := []struct {
+		path, typ, data string
+	}{
+		{"/users/mao/demo.movie", "movie", "FRAMES..."},
+		{"/users/mao/talk.sound", "sound", "SAMPLES..."},
+		{"/users/mao/paper.t", inversion.TypeTroff, ".KW RISC filesystems\n.ft R\n.ps 11\nInversion is a file system built on a DBMS.\n"},
+		{"/users/mao/notes.txt", inversion.TypeASCII, "remember: vacuum the database\nand calibrate the benchmark\n"},
+	}
+	for _, p := range puts {
+		if err := s.WriteFile(p.path, []byte(p.data), inversion.CreateOpts{Type: p.typ}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	other := db.NewSession("someone-else")
+	if err := other.WriteFile("/users/shared.movie", []byte("x"), inversion.CreateOpts{Type: "movie"}); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(q string) *inversion.QueryResult {
+		fmt.Printf("\n* %s\n", q)
+		res, err := eng.Run(s, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			var b bytes.Buffer
+			for i, v := range row {
+				if i > 0 {
+					b.WriteString("  |  ")
+				}
+				b.WriteString(v.String())
+			}
+			fmt.Printf("    %s\n", b.String())
+		}
+		fmt.Printf("    (%d rows)\n", len(res.Rows))
+		return res
+	}
+
+	// The paper's media query.
+	show(`retrieve (filename)
+	        where owner(file) = "mao"
+	        and (filetype(file) = "movie" or filetype(file) = "sound")
+	        and dir(file) = "/users/mao"`)
+
+	// Content query through a registered function.
+	show(`retrieve (filename) where "RISC" in keywords(file)`)
+
+	// Metadata arithmetic.
+	show(`retrieve (filename, size(file)) where size(file) > 20 and not isdir(file)`)
+
+	// Run-time extensibility: a new function over ASCII documents.
+	err = s.DefineFunction(inversion.FuncInfo{
+		Name: "todos", TypeName: inversion.TypeASCII,
+		Doc: "count of remember-lines",
+	}, func(c *inversion.FuncCtx) (inversion.Value, error) {
+		data, err := c.Contents()
+		if err != nil {
+			return inversion.Value{}, err
+		}
+		return inversion.IntValue(int64(bytes.Count(data, []byte("remember")))), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`retrieve (filename, todos(file)) where todos(file) > 0`)
+
+	// Query the past: the directory before the last file was added.
+	before := db.Manager().LastCommitTime()
+	if err := s.WriteFile("/users/mao/late-addition", []byte("z"), inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	show(`retrieve (filename) where dir(file) = "/users/mao"`)
+	show(fmt.Sprintf(`retrieve (filename) where dir(file) = "/users/mao" asof %d`, before))
+}

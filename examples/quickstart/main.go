@@ -1,0 +1,107 @@
+// Quickstart: the Inversion basics — a file system whose files live in
+// database tables. Creates files and directories, writes and reads
+// through the ordinary io interfaces, brackets multi-file changes in a
+// transaction, and shows that an aborted transaction leaves no trace
+// and a crash needs no fsck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/inversion"
+)
+
+func main() {
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.NewSession("mao")
+
+	// Plain file I/O (each op is its own transaction when no explicit
+	// one is active).
+	if err := s.MkdirAll("/users/mao"); err != nil {
+		log.Fatal(err)
+	}
+	f, err := s.Create("/users/mao/hello.txt", inversion.CreateOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(f, "hello from the Inversion file system")
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	data, err := s.ReadFile("/users/mao/hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %s", data)
+
+	// The naming table at work: every file has an OID, and its chunk
+	// table is named inv<oid> — Table 1 of the paper.
+	attr, err := s.Stat("/users/mao/hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file oid %d, data stored in table inv%d, %d bytes\n\n",
+		attr.File, attr.File, attr.Size)
+
+	// Transaction protection across multiple files: the paper's
+	// check-in example. Either all source files land, or none.
+	fmt.Println("checking in three source files atomically...")
+	if err := s.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"a.c", "b.c", "c.c"} {
+		if err := s.WriteFile("/users/mao/"+name, []byte("int main() {}\n"), inversion.CreateOpts{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	entries, err := s.ReadDir("/users/mao")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("  %-12s %4d bytes  owner %s\n", e.Name, e.Attr.Size, e.Attr.Owner)
+	}
+
+	// An aborted transaction leaves no trace.
+	if err := s.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteFile("/users/mao/mistake", []byte("oops"), inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Stat("/users/mao/mistake"); err != nil {
+		fmt.Println("\nafter abort, /users/mao/mistake does not exist — as it should be")
+	}
+
+	// Crash recovery: kill the buffer cache mid-transaction and reopen.
+	// Recovery is instantaneous: no consistency checker runs; the
+	// status log alone decides what survived.
+	if err := s.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteFile("/users/mao/in-flight", []byte("never committed"), inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	db.Crash()
+	db2, err := db.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := db2.NewSession("mao")
+	if _, err := s2.Stat("/users/mao/in-flight"); err != nil {
+		fmt.Println("after crash + instant recovery, the uncommitted file is gone")
+	}
+	if got, err := s2.ReadFile("/users/mao/hello.txt"); err == nil {
+		fmt.Printf("and committed data survived: %s", got)
+	}
+}

@@ -1,0 +1,93 @@
+// Satellite: the Sequoia 2000 scenario that motivated Inversion. Stores
+// a season of synthetic Thematic Mapper scenes as typed files, then
+// answers the paper's showcase query inside the file system:
+//
+//	retrieve (snow(file), filename)
+//	    where filetype(file) = "tm"
+//	    and snow(file)/size(file) > 0.5 and month_of(file) = "April"
+//
+// The snow() classification function runs inside the data manager, so
+// no image data crosses a process boundary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/inversion"
+)
+
+func main() {
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.NewSession("sequoia")
+	if err := inversion.RegisterStandardTypes(s); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.MkdirAll("/images/tm"); err != nil {
+		log.Fatal(err)
+	}
+
+	// A season of scenes: snow recedes from winter to summer.
+	scenes := []struct {
+		name string
+		snow float64
+	}{
+		{"sierra-jan", 0.92},
+		{"sierra-feb", 0.85},
+		{"sierra-apr", 0.64},
+		{"sierra-may", 0.38},
+		{"sierra-jul", 0.05},
+	}
+	fmt.Println("storing Thematic Mapper scenes as typed files...")
+	for i, sc := range scenes {
+		img := inversion.GenerateScene(inversion.SatParams{
+			Width: 64, Height: 64, SnowFraction: sc.snow, Seed: uint64(i + 1),
+		})
+		path := "/images/tm/" + sc.name
+		if err := s.WriteFile(path, img.Encode(), inversion.CreateOpts{Type: inversion.TypeTM}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s planted snow %.0f%%\n", path, sc.snow*100)
+	}
+	// A text file in the same directory: queries must skip it, since
+	// snow() is defined only on type tm.
+	if err := s.WriteFile("/images/tm/README",
+		[]byte("Thematic Mapper scenes, Sierra Nevada\n"),
+		inversion.CreateOpts{Type: inversion.TypeASCII}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Classification functions run in the data manager.
+	fmt.Println("\ncalling classification functions:")
+	for _, fn := range []string{"snow", "pixelcount", "pixelavg"} {
+		v, err := s.Call(fn, "/images/tm/sierra-apr")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s(/images/tm/sierra-apr) = %s\n", fn, v)
+	}
+	px, err := inversion.GetPixel(s, "/images/tm/sierra-apr", 0, 10, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  getpixel(band 0, 10, 10) = %d\n", px)
+
+	// The paper's query: scenes that are more than half snow.
+	eng := inversion.NewQueryEngine(db)
+	q := `retrieve (snow(file), filename)
+	        where filetype(file) = "tm"
+	        and snow(file)/pixelcount(file) > 0.5`
+	fmt.Printf("\n%s\n\n", q)
+	res, err := eng.Run(s, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s  %s\n", "snow", "filename")
+	for _, row := range res.Rows {
+		fmt.Printf("%-8s  %s\n", row[0], row[1])
+	}
+	fmt.Printf("(%d of %d scenes)\n", len(res.Rows), len(scenes))
+}

@@ -1,0 +1,111 @@
+// Timetravel: fine-grained time travel over file data and metadata.
+// Edits a file several times, views every historical version, lists a
+// directory as it used to be, and undeletes a file removed by mistake —
+// "it allows users to undelete files removed accidentally, or to
+// recover a working version of a program which they have changed."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/inversion"
+)
+
+func main() {
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.NewSession("mao")
+
+	// Three generations of a program.
+	versions := []string{
+		"v1: works\n",
+		"v2: refactored, still works\n",
+		"v3: \"improved\", now broken\n",
+	}
+	var stamps []int64
+	for _, v := range versions {
+		if err := s.WriteFile("/prog.c", []byte(v), inversion.CreateOpts{}); err != nil {
+			log.Fatal(err)
+		}
+		stamps = append(stamps, db.Manager().LastCommitTime())
+	}
+
+	fmt.Println("current contents:")
+	cur, err := s.ReadFile("/prog.c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s\n", cur)
+
+	fmt.Println("every transaction-consistent past state is visible:")
+	for i, t := range stamps {
+		old, err := s.ReadFileAsOf("/prog.c", t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  as of commit %d: %s", i+1, old)
+	}
+
+	// Recover the working version: read it from the past, write it as
+	// the present.
+	fmt.Println("\nrecovering the working v2...")
+	working, err := s.ReadFileAsOf("/prog.c", stamps[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteFile("/prog.c", working, inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	cur, _ = s.ReadFile("/prog.c")
+	fmt.Printf("current contents now: %s", cur)
+
+	// Undelete: remove a file, then look back in time.
+	if err := s.WriteFile("/precious-data", []byte("one of a kind\n"), inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	before := db.Manager().LastCommitTime()
+	if err := s.Unlink("/precious-data"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n/precious-data deleted. directory now:")
+	list(s, 0)
+	fmt.Println("directory as of just before the delete:")
+	list(s, before)
+
+	saved, err := s.ReadFileAsOf("/precious-data", before)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteFile("/precious-data", saved, inversion.CreateOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("undeleted: %s", saved)
+
+	// Historical files may not be opened for writing.
+	if _, err := db.OpenAsOf("/prog.c", stamps[0]); err == nil {
+		f, _ := db.OpenAsOf("/prog.c", stamps[0])
+		if _, werr := f.Write([]byte("x")); werr != nil {
+			fmt.Println("\nwriting to a historical file correctly fails:", werr)
+		}
+		f.Close()
+	}
+}
+
+func list(s *inversion.Session, asof int64) {
+	var entries []inversion.DirEntry
+	var err error
+	if asof == 0 {
+		entries, err = s.ReadDir("/")
+	} else {
+		entries, err = s.ReadDirAsOf("/", asof)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("  %s (%d bytes)\n", e.Name, e.Attr.Size)
+	}
+}

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/iosim"
+)
+
+// Ablations probe the design choices the paper calls out: the shared
+// buffer cache size (64 as shipped vs 300 at Berkeley), write
+// coalescing of small sequential writes, chunk compression, and the
+// jukebox's magnetic-disk staging cache.
+
+// CacheSizeResult compares read workloads under two cache sizes.
+type CacheSizeResult struct {
+	SmallBuffers, LargeBuffers int
+	Small, Large               map[string]time.Duration
+}
+
+// AblateCacheSize runs the read tests with the as-shipped 64-buffer
+// cache and the Berkeley 300-buffer cache.
+func AblateCacheSize(p Params, fileSize int64) (*CacheSizeResult, error) {
+	res := &CacheSizeResult{SmallBuffers: 64, LargeBuffers: 300}
+	for _, n := range []int{64, 300} {
+		pp := p
+		pp.Buffers = n
+		sys, err := NewInversion(pp, false)
+		if err != nil {
+			return nil, err
+		}
+		times, err := RunOps(sys, fileSize)
+		if err != nil {
+			return nil, err
+		}
+		if n == 64 {
+			res.Small = times
+		} else {
+			res.Large = times
+		}
+	}
+	return res, nil
+}
+
+// CoalesceResult compares many small sequential writes with and without
+// the write-coalescing buffer.
+type CoalesceResult struct {
+	Bytes, WriteSize   int
+	Coalesced, Direct  time.Duration
+	RecordsCoalesced   int
+	RecordsUncoalesced int
+}
+
+// AblateCoalescing writes 1 MB in 256-byte sequential writes inside a
+// single transaction, once letting the File buffer coalesce them into
+// chunk-sized records and once forcing every write through to a record
+// update ("Multiple small sequential writes during a single transaction
+// are coalesced to maximize the size of the chunk stored in each
+// database record").
+func AblateCoalescing(p Params) (*CoalesceResult, error) {
+	const total = 1 * MB
+	const wsize = 256
+	res := &CoalesceResult{Bytes: total, WriteSize: wsize}
+
+	run := func(coalesce bool) (time.Duration, int, error) {
+		sys, err := NewInversion(p, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		sess := sys.sess
+		if err := sess.Begin(); err != nil {
+			return 0, 0, err
+		}
+		w := iosim.StartWatch(sys.clock)
+		f, err := sess.Create("/coalesce", core.CreateOpts{})
+		if err != nil {
+			return 0, 0, err
+		}
+		buf := make([]byte, wsize)
+		for off := 0; off < total; off += wsize {
+			if _, err := f.Write(buf); err != nil {
+				return 0, 0, err
+			}
+			if !coalesce {
+				if err := f.Flush(); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return 0, 0, err
+		}
+		if err := sess.Commit(); err != nil {
+			return 0, 0, err
+		}
+		elapsed := w.Elapsed()
+		// Count live chunk records (dead versions excluded).
+		records := 0
+		snap := sys.db.Manager().CurrentSnapshot()
+		oid, err := sys.db.Resolve(snap, "/coalesce")
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := sys.db.Switch().NPages(oid)
+		if err != nil {
+			return 0, 0, err
+		}
+		records = int(n) // pages in the chunk table ≈ record versions
+		return elapsed, records, nil
+	}
+
+	var err error
+	if res.Coalesced, res.RecordsCoalesced, err = run(true); err != nil {
+		return nil, err
+	}
+	if res.Direct, res.RecordsUncoalesced, err = run(false); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CompressionResult compares a compressible file stored plain vs
+// compressed.
+type CompressionResult struct {
+	Bytes                   int
+	CreatePlain, CreateComp time.Duration
+	ReadPlain, ReadComp     time.Duration
+	PagesPlain, PagesComp   uint32
+	RandomPlain, RandomComp time.Duration
+}
+
+// AblateCompression stores a 2 MB compressible file plain and with
+// FlagCompressed and compares creation time, storage pages, cold
+// sequential read, and cold random page reads.
+func AblateCompression(p Params) (*CompressionResult, error) {
+	const total = 2 * MB
+	res := &CompressionResult{Bytes: total}
+	data := make([]byte, total)
+	for i := range data {
+		data[i] = byte(i / 1024) // long runs: compresses well
+	}
+
+	run := func(flags uint32) (create, seqRead, rndRead time.Duration, pages uint32, err error) {
+		sys, err := NewInversion(p, false)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		w := iosim.StartWatch(sys.clock)
+		if err := sys.sess.WriteFile("/z", data, core.CreateOpts{Flags: flags}); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		create = w.Elapsed()
+		if err := sys.FlushCaches(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		w.Restart()
+		f, err := sys.sess.Open("/z")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if _, err := io.Copy(io.Discard, f); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		seqRead = w.Elapsed()
+		if err := sys.FlushCaches(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		w.Restart()
+		if err := sys.BeginTest("/z", false); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		rng := lcg(7)
+		page := make([]byte, PageSize)
+		for i := 0; i < 64; i++ {
+			off := int64(rng.next()%uint64(total/PageSize)) * PageSize
+			if err := sys.TestRead(page, off); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		if err := sys.EndTest(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		rndRead = w.Elapsed()
+		snap := sys.db.Manager().CurrentSnapshot()
+		oid, err := sys.db.Resolve(snap, "/z")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		pages, err = sys.db.Switch().NPages(oid)
+		return create, seqRead, rndRead, pages, err
+	}
+
+	var err error
+	if res.CreatePlain, res.ReadPlain, res.RandomPlain, res.PagesPlain, err = run(0); err != nil {
+		return nil, err
+	}
+	if res.CreateComp, res.ReadComp, res.RandomComp, res.PagesComp, err = run(core.FlagCompressed); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// JukeboxResult compares jukebox reads with and without a useful
+// staging cache.
+type JukeboxResult struct {
+	Bytes                 int
+	ColdRead              time.Duration
+	CachedRead            time.Duration
+	TinyCacheRepeatRead   time.Duration
+	PlatterLoadsCached    int64
+	PlatterLoadsTinyCache int64
+}
+
+// AblateJukeboxCache stores a file on the WORM jukebox and reads it
+// twice, with the default 10 MB staging cache and with a nearly
+// disabled one: the second read should be nearly free with the cache
+// and pay platter mechanics without it.
+func AblateJukeboxCache(p Params) (*JukeboxResult, error) {
+	const total = 2 * MB
+	res := &JukeboxResult{Bytes: total}
+
+	run := func(cachePages int) (cold, repeat time.Duration, loads int64, err error) {
+		clock := iosim.NewClock()
+		sw := device.NewSwitch()
+		jp := device.DefaultJukebox()
+		if cachePages > 0 {
+			jp.CachePages = cachePages
+		}
+		jb := device.NewJukebox(jp, clock)
+		sw.Register(device.NewMem(nil, 0))
+		sw.Register(jb)
+		db, err := core.Open(sw, core.Options{Buffers: 32, DefaultClass: "mem", LogClass: "mem"})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sess := db.NewSession("bench")
+		if err := sess.WriteFile("/jb", make([]byte, total), core.CreateOpts{Class: "jukebox"}); err != nil {
+			return 0, 0, 0, err
+		}
+		// Force everything to the platter and empty both the page cache
+		// and the staging cache so the first read is truly cold.
+		if err := db.Pool().FlushAll(); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := jb.DropCache(); err != nil {
+			return 0, 0, 0, err
+		}
+		db.Pool().Crash()
+		w := iosim.StartWatch(clock)
+		if _, err := sess.ReadFile("/jb"); err != nil {
+			return 0, 0, 0, err
+		}
+		cold = w.Elapsed()
+		db.Pool().Crash() // page cache gone; only the jukebox staging cache remains
+		w.Restart()
+		if _, err := sess.ReadFile("/jb"); err != nil {
+			return 0, 0, 0, err
+		}
+		repeat = w.Elapsed()
+		return cold, repeat, jb.PlatterLoads(), nil
+	}
+
+	var err error
+	var cold time.Duration
+	if cold, res.CachedRead, res.PlatterLoadsCached, err = run(0); err != nil {
+		return nil, err
+	}
+	res.ColdRead = cold
+	if _, res.TinyCacheRepeatRead, res.PlatterLoadsTinyCache, err = run(4); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders a short summary (used by invbench -ablate).
+func (r *CoalesceResult) String() string {
+	return fmt.Sprintf("coalesced %.3fs (%d pages) vs direct %.3fs (%d pages)",
+		r.Coalesced.Seconds(), r.RecordsCoalesced, r.Direct.Seconds(), r.RecordsUncoalesced)
+}

@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+// Operation identifiers, one per row of the paper's Table 3.
+const (
+	OpCreate      = "create-25mb"
+	OpReadByte    = "read-byte"
+	OpWriteByte   = "write-byte"
+	OpReadSingle  = "read-1mb-single"
+	OpReadSeq     = "read-1mb-seq"
+	OpReadRandom  = "read-1mb-random"
+	OpWriteSingle = "write-1mb-single"
+	OpWriteSeq    = "write-1mb-seq"
+	OpWriteRandom = "write-1mb-random"
+)
+
+// AllOps lists every benchmark operation in paper order.
+var AllOps = []string{
+	OpCreate, OpReadSingle, OpReadSeq, OpReadRandom,
+	OpWriteSingle, OpWriteSeq, OpWriteRandom, OpReadByte, OpWriteByte,
+}
+
+const benchPath = "/benchfile"
+
+// lcg is a small deterministic generator so every system sees the same
+// "random" offsets.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 33)
+}
+
+// opIsWrite reports whether an operation opens the file for writing.
+func opIsWrite(op string) bool {
+	switch op {
+	case OpWriteByte, OpWriteSingle, OpWriteSeq, OpWriteRandom:
+		return true
+	default:
+		return false
+	}
+}
+
+// opBody builds the test body for one operation on one system.
+func opBody(sys System, op string, fileSize int64, rng *lcg) func() error {
+	unit := int64(sys.PageUnit())
+	pageOff := func() int64 { return int64(rng.next()%uint64(fileSize/unit)) * unit }
+	byteOff := func() int64 { return int64(rng.next() % uint64(fileSize)) }
+	pages := TestBytes / int(unit)
+
+	switch op {
+	case OpReadByte:
+		one := make([]byte, 1)
+		return func() error { return sys.TestRead(one, byteOff()) }
+	case OpWriteByte:
+		one := make([]byte, 1)
+		return func() error { return sys.TestWrite(one, byteOff()) }
+	case OpReadSingle:
+		mb := make([]byte, TestBytes)
+		return func() error { return sys.TestSingleRead(mb, 0) }
+	case OpWriteSingle:
+		mb := make([]byte, TestBytes)
+		return func() error { return sys.TestSingleWrite(mb, 0) }
+	case OpReadSeq:
+		page := make([]byte, unit)
+		return func() error {
+			for i := 0; i < pages; i++ {
+				if err := sys.TestRead(page, int64(i)*unit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case OpReadRandom:
+		page := make([]byte, unit)
+		return func() error {
+			for i := 0; i < pages; i++ {
+				if err := sys.TestRead(page, pageOff()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case OpWriteSeq:
+		page := make([]byte, unit)
+		return func() error {
+			for i := 0; i < pages; i++ {
+				if err := sys.TestWrite(page, int64(i)*unit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case OpWriteRandom:
+		page := make([]byte, unit)
+		return func() error {
+			for i := 0; i < pages; i++ {
+				if err := sys.TestWrite(page, pageOff()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	default:
+		return func() error { return fmt.Errorf("bench: unknown op %q", op) }
+	}
+}
+
+// runOne executes one bracketed test on sys and returns its elapsed
+// virtual time.
+func runOne(sys System, op string, fileSize int64, rng *lcg, w *iosim.Stopwatch) (time.Duration, error) {
+	if err := sys.FlushCaches(); err != nil {
+		return 0, err
+	}
+	if err := sys.WarmMeta(benchPath); err != nil {
+		return 0, fmt.Errorf("bench: warm %s on %s: %w", op, sys.Name(), err)
+	}
+	body := opBody(sys, op, fileSize, rng)
+	w.Restart()
+	if err := sys.BeginTest(benchPath, opIsWrite(op)); err != nil {
+		return 0, fmt.Errorf("bench: begin %s on %s: %w", op, sys.Name(), err)
+	}
+	if err := body(); err != nil {
+		return 0, fmt.Errorf("bench: %s on %s: %w", op, sys.Name(), err)
+	}
+	if err := sys.EndTest(); err != nil {
+		return 0, fmt.Errorf("bench: end %s on %s: %w", op, sys.Name(), err)
+	}
+	return w.Elapsed(), nil
+}
+
+// RunOps runs the paper's benchmark on one system: create the file,
+// then each transfer test — caches flushed first, metadata warmed, one
+// transaction around the test body. fileSize scales the created file
+// (the paper used 25 MB; tests may use less — the 1 MB transfer tests
+// need at least 2 MB). It returns elapsed virtual time per operation.
+func RunOps(sys System, fileSize int64) (map[string]time.Duration, error) {
+	if fileSize < 2*MB {
+		return nil, fmt.Errorf("bench: file size %d too small", fileSize)
+	}
+	res := make(map[string]time.Duration)
+	w := iosim.StartWatch(sys.Clock())
+
+	// Create the file (Figure 3).
+	w.Restart()
+	if err := sys.CreateBulk(benchPath, fileSize); err != nil {
+		return nil, fmt.Errorf("bench: create on %s: %w", sys.Name(), err)
+	}
+	res[OpCreate] = w.Elapsed()
+
+	rng := lcg(1993)
+	order := []string{
+		OpReadByte, OpWriteByte,
+		OpReadSingle, OpReadSeq, OpReadRandom,
+		OpWriteSingle, OpWriteSeq, OpWriteRandom,
+	}
+	for _, op := range order {
+		d, err := runOne(sys, op, fileSize, &rng, w)
+		if err != nil {
+			return nil, err
+		}
+		res[op] = d
+	}
+	return res, nil
+}
+
+// Runner supports benchmarking one operation at a time (testing.B).
+type Runner struct {
+	sys      System
+	fileSize int64
+	rng      lcg
+	watch    *iosim.Stopwatch
+	seq      int
+	created  bool
+}
+
+// NewRunner builds a configuration for single-op benchmarking.
+func NewRunner(cfg Config, p Params, fileSize int64) (*Runner, error) {
+	sys, err := BuildSystem(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		sys: sys, fileSize: fileSize, rng: lcg(1993),
+		watch: iosim.StartWatch(sys.Clock()),
+	}, nil
+}
+
+// System exposes the underlying system.
+func (r *Runner) System() System { return r.sys }
+
+// RunOp executes one operation and returns its elapsed virtual time.
+// OpCreate creates a fresh file each call; every other op lazily
+// creates the shared benchmark file first (uncounted).
+func (r *Runner) RunOp(op string) (time.Duration, error) {
+	if op == OpCreate {
+		r.seq++
+		name := fmt.Sprintf("%s-%d", benchPath, r.seq)
+		r.watch.Restart()
+		if err := r.sys.CreateBulk(name, r.fileSize); err != nil {
+			return 0, err
+		}
+		return r.watch.Elapsed(), nil
+	}
+	if !r.created {
+		if err := r.sys.CreateBulk(benchPath, r.fileSize); err != nil {
+			return 0, err
+		}
+		r.created = true
+	}
+	return runOne(r.sys, op, r.fileSize, &r.rng, r.watch)
+}
+
+// Config identifies a benchmarked configuration.
+type Config string
+
+// The evaluated configurations.
+const (
+	ConfigInvCS      Config = "inv-cs"  // Inversion client/server
+	ConfigNFS        Config = "nfs"     // ULTRIX NFS + PRESTOserve
+	ConfigInvSP      Config = "inv-sp"  // Inversion single process
+	ConfigNFSNoPrest Config = "nfs-raw" // NFS without NVRAM
+	ConfigLocalFS    Config = "local"   // local FFS, no network
+)
+
+// BuildSystem constructs a configuration.
+func BuildSystem(cfg Config, p Params) (System, error) {
+	switch cfg {
+	case ConfigInvCS:
+		return NewInversion(p, true)
+	case ConfigInvSP:
+		return NewInversion(p, false)
+	case ConfigNFS:
+		return NewNFS(p, true), nil
+	case ConfigNFSNoPrest:
+		return NewNFS(p, false), nil
+	case ConfigLocalFS:
+		return NewLocalFS(p), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown config %q", cfg)
+	}
+}
+
+// Report holds per-config, per-op elapsed virtual seconds.
+type Report struct {
+	FileSize int64
+	Seconds  map[Config]map[string]float64
+}
+
+// Run executes the full benchmark for every requested configuration.
+func Run(p Params, fileSize int64, configs []Config) (*Report, error) {
+	rep := &Report{FileSize: fileSize, Seconds: make(map[Config]map[string]float64)}
+	for _, cfg := range configs {
+		sys, err := BuildSystem(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		times, err := RunOps(sys, fileSize)
+		if err != nil {
+			return nil, err
+		}
+		row := make(map[string]float64, len(times))
+		for op, d := range times {
+			row[op] = d.Seconds()
+		}
+		rep.Seconds[cfg] = row
+	}
+	return rep, nil
+}
+
+// PaperTable3 records the paper's measured elapsed seconds (Table 3)
+// for shape comparison: columns are Inversion client/server, ULTRIX
+// NFS (with PRESTOserve), and Inversion single process.
+var PaperTable3 = map[string]map[Config]float64{
+	OpCreate:      {ConfigInvCS: 141.5, ConfigNFS: 50.6, ConfigInvSP: 111.6},
+	OpReadSingle:  {ConfigInvCS: 3.4, ConfigNFS: 2.8, ConfigInvSP: 0.4},
+	OpReadSeq:     {ConfigInvCS: 4.8, ConfigNFS: 2.2, ConfigInvSP: 0.4},
+	OpReadRandom:  {ConfigInvCS: 5.5, ConfigNFS: 2.4, ConfigInvSP: 0.8},
+	OpWriteSingle: {ConfigInvCS: 4.6, ConfigNFS: 2.0, ConfigInvSP: 1.4},
+	OpWriteSeq:    {ConfigInvCS: 5.6, ConfigNFS: 1.7, ConfigInvSP: 1.4},
+	OpWriteRandom: {ConfigInvCS: 6.0, ConfigNFS: 1.7, ConfigInvSP: 2.9},
+	OpReadByte:    {ConfigInvCS: 0.02, ConfigNFS: 0.01, ConfigInvSP: 0.01},
+	OpWriteByte:   {ConfigInvCS: 0.03, ConfigNFS: 0.02, ConfigInvSP: 0.02},
+}
+
+// OpLabel gives the paper's wording for an operation.
+func OpLabel(op string) string {
+	switch op {
+	case OpCreate:
+		return "Create 25MByte file"
+	case OpReadSingle:
+		return "Single 1MByte read"
+	case OpReadSeq:
+		return "Page-sized sequential 1MByte read"
+	case OpReadRandom:
+		return "Page-sized random 1MByte read"
+	case OpWriteSingle:
+		return "Single 1MByte write"
+	case OpWriteSeq:
+		return "Page-sized sequential 1MByte write"
+	case OpWriteRandom:
+		return "Page-sized random 1MByte write"
+	case OpReadByte:
+		return "Read single byte"
+	case OpWriteByte:
+		return "Write single byte"
+	default:
+		return op
+	}
+}

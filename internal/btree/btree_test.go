@@ -1,0 +1,260 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/device"
+)
+
+func newTree(t *testing.T, poolSize int) *Tree {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	if err := sw.Place(50, ""); err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(sw, poolSize)
+	tr, err := Open(50, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := newTree(t, 32)
+	for i := 0; i < 100; i++ {
+		added, err := tr.Insert(Entry{Key{uint64(i), 0}, uint64(i * 10)})
+		if err != nil || !added {
+			t.Fatalf("insert %d: added=%v err=%v", i, added, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		var got []uint64
+		if err := tr.Lookup(Key{uint64(i), 0}, func(e Entry) bool {
+			got = append(got, e.Val)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != uint64(i*10) {
+			t.Fatalf("lookup %d = %v", i, got)
+		}
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	tr := newTree(t, 32)
+	e := Entry{Key{1, 2}, 3}
+	added, err := tr.Insert(e)
+	if err != nil || !added {
+		t.Fatalf("first insert: %v %v", added, err)
+	}
+	added, err = tr.Insert(e)
+	if err != nil || added {
+		t.Fatalf("duplicate insert: %v %v", added, err)
+	}
+	n, _ := tr.Len()
+	if n != 1 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t, 32)
+	for v := uint64(0); v < 50; v++ {
+		if _, err := tr.Insert(Entry{Key{7, 7}, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := tr.Lookup(Key{7, 7}, func(e Entry) bool {
+		got = append(got, e.Val)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("lookup returned %d values", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("duplicate values not ordered")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 32)
+	for i := uint64(0); i < 20; i++ {
+		if _, err := tr.Insert(Entry{Key{i, 0}, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Delete(Entry{Key{5, 0}, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(Entry{Key{5, 0}, 5}); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := tr.Delete(Entry{Key{99, 0}, 99}); err != ErrNotFound {
+		t.Fatalf("delete missing: %v", err)
+	}
+	n, _ := tr.Len()
+	if n != 19 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestSplitsManyEntries(t *testing.T) {
+	tr := newTree(t, 64)
+	const n = 5000 // forces several levels of splits
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if _, err := tr.Insert(Entry{Key{uint64(i), 0}, uint64(i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Len()
+	if err != nil || got != n {
+		t.Fatalf("Len = %d, %v", got, err)
+	}
+	// Ascend returns sorted order.
+	last := Entry{}
+	first := true
+	err = tr.Ascend(Key{}, func(e Entry) bool {
+		if !first && !last.Less(e) {
+			t.Fatalf("out of order: %v then %v", last, e)
+		}
+		last, first = e, false
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendFromMidpoint(t *testing.T) {
+	tr := newTree(t, 32)
+	for i := uint64(0); i < 100; i++ {
+		if _, err := tr.Insert(Entry{Key{i, 0}, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := tr.Ascend(Key{60, 0}, func(e Entry) bool {
+		got = append(got, e.Key.K1)
+		return len(got) < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{60, 61, 62, 63, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ascend = %v", got)
+		}
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	tr := newTree(t, 32)
+	entries := []Entry{
+		{Key{2, 1}, 0}, {Key{1, 9}, 0}, {Key{1, 2}, 0}, {Key{2, 0}, 9},
+	}
+	for _, e := range entries {
+		if _, err := tr.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Entry
+	if err := tr.Ascend(Key{}, func(e Entry) bool { got = append(got, e); return true }); err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Key{1, 2}, 0}, {Key{1, 9}, 0}, {Key{2, 0}, 9}, {Key{2, 1}, 0}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestSurvivesTinyBufferPool(t *testing.T) {
+	// A pool of 8 frames forces constant eviction during splits.
+	tr := newTree(t, 8)
+	for i := 0; i < 2000; i++ {
+		if _, err := tr.Insert(Entry{Key{uint64(i % 37), uint64(i)}, uint64(i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := tr.Len()
+	if n != 2000 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+// property: the tree agrees with a sorted reference model under random
+// insert/delete interleavings.
+func TestPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sw := device.NewSwitch()
+		sw.Register(device.NewMem(nil, 0))
+		if err := sw.Place(50, ""); err != nil {
+			return false
+		}
+		tr, err := Open(50, buffer.NewPool(sw, 16))
+		if err != nil {
+			return false
+		}
+		model := map[Entry]bool{}
+		for op := 0; op < 800; op++ {
+			e := Entry{Key{uint64(rng.Intn(40)), uint64(rng.Intn(5))}, uint64(rng.Intn(10))}
+			if rng.Intn(3) > 0 {
+				added, err := tr.Insert(e)
+				if err != nil {
+					return false
+				}
+				if added == model[e] {
+					return false // added must equal "was absent"
+				}
+				model[e] = true
+			} else {
+				err := tr.Delete(e)
+				if model[e] && err != nil {
+					return false
+				}
+				if !model[e] && err != ErrNotFound {
+					return false
+				}
+				delete(model, e)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		var got []Entry
+		if err := tr.Ascend(Key{}, func(e Entry) bool { got = append(got, e); return true }); err != nil {
+			return false
+		}
+		if len(got) != len(model) {
+			return false
+		}
+		for _, e := range got {
+			if !model[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package btree
+
+import "fmt"
+
+// nodeMem is an in-memory image of one node. Tree operations read a
+// node image, work on it, and write it back, never holding a frame
+// latch across buffer pool calls; the per-tree mutex serialises
+// everything, so images cannot go stale mid-operation.
+type nodeMem struct {
+	kind byte
+	link uint32 // leaf: right sibling; internal: leftmost child
+	leaf []Entry
+	ints []intChild
+}
+
+type intChild struct {
+	e     Entry
+	child uint32
+}
+
+func (t *Tree) readNode(pn uint32) (nodeMem, error) {
+	f, err := t.pool.Get(t.rel, pn)
+	if err != nil {
+		return nodeMem{}, err
+	}
+	f.Lock()
+	d := f.Data
+	n := nodeMem{kind: nodeKind(d), link: nodeLink(d)}
+	cnt := nodeCount(d)
+	switch n.kind {
+	case kindLeaf:
+		n.leaf = make([]Entry, cnt)
+		for i := 0; i < cnt; i++ {
+			n.leaf[i] = leafEntry(d, i)
+		}
+	case kindInternal:
+		n.ints = make([]intChild, cnt)
+		for i := 0; i < cnt; i++ {
+			e, c := intEntry(d, i)
+			n.ints[i] = intChild{e, c}
+		}
+	default:
+		f.Unlock()
+		t.pool.Release(f, false)
+		return nodeMem{}, fmt.Errorf("btree: page %d has bad node kind %d", pn, n.kind)
+	}
+	f.Unlock()
+	t.pool.Release(f, false)
+	return n, nil
+}
+
+func (t *Tree) writeNode(pn uint32, n nodeMem) error {
+	f, err := t.pool.Get(t.rel, pn)
+	if err != nil {
+		return err
+	}
+	f.Lock()
+	d := f.Data
+	for i := range d {
+		d[i] = 0
+	}
+	d[0] = n.kind
+	setNodeLink(d, n.link)
+	switch n.kind {
+	case kindLeaf:
+		setNodeCount(d, len(n.leaf))
+		for i, e := range n.leaf {
+			putLeafEntry(d, i, e)
+		}
+	case kindInternal:
+		setNodeCount(d, len(n.ints))
+		for i, ic := range n.ints {
+			putIntEntry(d, i, ic.e, ic.child)
+		}
+	}
+	f.Unlock()
+	t.pool.Release(f, true)
+	return nil
+}
+
+func (t *Tree) newNode(n nodeMem) (uint32, error) {
+	f, pn, err := t.pool.NewPage(t.rel)
+	if err != nil {
+		return 0, err
+	}
+	t.pool.Release(f, true)
+	return pn, t.writeNode(pn, n)
+}
+
+// childIdx picks the descent child index for e: -1 means the leftmost
+// child, otherwise ints[i].child.
+func (n *nodeMem) childIdx(e Entry) int {
+	lo, hi := 0, len(n.ints)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := n.ints[mid].e
+		if k.Less(e) || k == e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+func (n *nodeMem) childPage(e Entry) uint32 {
+	i := n.childIdx(e)
+	if i < 0 {
+		return n.link
+	}
+	return n.ints[i].child
+}
+
+// leafPos finds the first index in a leaf image ≥ e.
+func leafPos(leaf []Entry, e Entry) int {
+	lo, hi := 0, len(leaf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leaf[mid].Less(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds entry e. It reports whether the entry was added (false if
+// the exact entry already existed, making Insert idempotent).
+func (t *Tree) Insert(e Entry) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	root, err := t.rootPage()
+	if err != nil {
+		return false, err
+	}
+	// Descend, recording the path of page numbers.
+	var path []uint32
+	pn := root
+	for {
+		n, err := t.readNode(pn)
+		if err != nil {
+			return false, err
+		}
+		path = append(path, pn)
+		if n.kind == kindLeaf {
+			break
+		}
+		pn = n.childPage(e)
+	}
+	leafPN := path[len(path)-1]
+	n, err := t.readNode(leafPN)
+	if err != nil {
+		return false, err
+	}
+	pos := leafPos(n.leaf, e)
+	if pos < len(n.leaf) && n.leaf[pos] == e {
+		return false, nil
+	}
+	n.leaf = append(n.leaf, Entry{})
+	copy(n.leaf[pos+1:], n.leaf[pos:])
+	n.leaf[pos] = e
+
+	if len(n.leaf) <= maxLeafEntries {
+		return true, t.writeNode(leafPN, n)
+	}
+
+	// Split the leaf: upper half moves to a new right sibling.
+	mid := len(n.leaf) / 2
+	right := nodeMem{kind: kindLeaf, link: n.link, leaf: append([]Entry(nil), n.leaf[mid:]...)}
+	sep := right.leaf[0]
+	rightPN, err := t.newNode(right)
+	if err != nil {
+		return false, err
+	}
+	n.leaf = n.leaf[:mid]
+	n.link = rightPN
+	if err := t.writeNode(leafPN, n); err != nil {
+		return false, err
+	}
+
+	// Propagate the separator up the path.
+	childPN := rightPN
+	for lvl := len(path) - 2; lvl >= 0; lvl-- {
+		ipn := path[lvl]
+		in, err := t.readNode(ipn)
+		if err != nil {
+			return false, err
+		}
+		ipos := in.childIdx(sep) + 1
+		in.ints = append(in.ints, intChild{})
+		copy(in.ints[ipos+1:], in.ints[ipos:])
+		in.ints[ipos] = intChild{sep, childPN}
+		if len(in.ints) <= maxIntEntries {
+			return true, t.writeNode(ipn, in)
+		}
+		// Split the internal node; the middle entry is promoted.
+		imid := len(in.ints) / 2
+		promoted := in.ints[imid]
+		iright := nodeMem{
+			kind: kindInternal,
+			link: promoted.child,
+			ints: append([]intChild(nil), in.ints[imid+1:]...),
+		}
+		irightPN, err := t.newNode(iright)
+		if err != nil {
+			return false, err
+		}
+		in.ints = in.ints[:imid]
+		if err := t.writeNode(ipn, in); err != nil {
+			return false, err
+		}
+		sep = promoted.e
+		childPN = irightPN
+	}
+
+	// The root itself split: grow the tree by one level.
+	newRoot := nodeMem{kind: kindInternal, link: root, ints: []intChild{{sep, childPN}}}
+	rootPN, err := t.newNode(newRoot)
+	if err != nil {
+		return false, err
+	}
+	return true, t.setRoot(rootPN)
+}
+
+// Delete removes the exact entry e. Underfull nodes are left in place
+// (deletes come only from the vacuum cleaner, and lazy deletion keeps
+// the tree simple, as in many production B-trees).
+func (t *Tree) Delete(e Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	pn, err := t.rootPage()
+	if err != nil {
+		return err
+	}
+	for {
+		n, err := t.readNode(pn)
+		if err != nil {
+			return err
+		}
+		if n.kind == kindInternal {
+			pn = n.childPage(e)
+			continue
+		}
+		pos := leafPos(n.leaf, e)
+		if pos >= len(n.leaf) || n.leaf[pos] != e {
+			return ErrNotFound
+		}
+		n.leaf = append(n.leaf[:pos], n.leaf[pos+1:]...)
+		return t.writeNode(pn, n)
+	}
+}
+
+// Ascend calls fn for every entry ≥ start (ordered), until fn returns
+// false.
+func (t *Tree) Ascend(start Key, fn func(Entry) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	lower := Entry{Key: start}
+	pn, err := t.rootPage()
+	if err != nil {
+		return err
+	}
+	for {
+		n, err := t.readNode(pn)
+		if err != nil {
+			return err
+		}
+		if n.kind == kindLeaf {
+			pos := leafPos(n.leaf, lower)
+			for {
+				for ; pos < len(n.leaf); pos++ {
+					if !fn(n.leaf[pos]) {
+						return nil
+					}
+				}
+				if n.link == 0 {
+					return nil
+				}
+				n, err = t.readNode(n.link)
+				if err != nil {
+					return err
+				}
+				pos = 0
+			}
+		}
+		pn = n.childPage(lower)
+	}
+}
+
+// Lookup calls fn for every entry whose key equals k.
+func (t *Tree) Lookup(k Key, fn func(Entry) bool) error {
+	return t.Ascend(k, func(e Entry) bool {
+		if e.Key != k {
+			return false
+		}
+		return fn(e)
+	})
+}
+
+// Len counts all entries (test helper; O(n)).
+func (t *Tree) Len() (int, error) {
+	total := 0
+	err := t.Ascend(Key{}, func(Entry) bool { total++; return true })
+	return total, err
+}
+
+// CheckInvariants walks the tree verifying ordering and separator
+// correctness; tests call it after randomised workloads.
+func (t *Tree) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root, err := t.rootPage()
+	if err != nil {
+		return err
+	}
+	_, _, err = t.check(root, nil, nil)
+	return err
+}
+
+// check verifies the subtree at pn lies within (lo, hi]; it returns the
+// subtree's min and max entries.
+func (t *Tree) check(pn uint32, lo, hi *Entry) (minE, maxE *Entry, err error) {
+	n, err := t.readNode(pn)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound := func(e Entry) error {
+		if lo != nil && e.Less(*lo) {
+			return fmt.Errorf("btree: entry %v below bound %v on page %d", e, *lo, pn)
+		}
+		if hi != nil && !e.Less(*hi) {
+			return fmt.Errorf("btree: entry %v not below bound %v on page %d", e, *hi, pn)
+		}
+		return nil
+	}
+	if n.kind == kindLeaf {
+		for i, e := range n.leaf {
+			if err := bound(e); err != nil {
+				return nil, nil, err
+			}
+			if i > 0 && !n.leaf[i-1].Less(e) {
+				return nil, nil, fmt.Errorf("btree: leaf %d out of order at %d", pn, i)
+			}
+		}
+		if len(n.leaf) == 0 {
+			return nil, nil, nil
+		}
+		return &n.leaf[0], &n.leaf[len(n.leaf)-1], nil
+	}
+	for i, ic := range n.ints {
+		if i > 0 && !n.ints[i-1].e.Less(ic.e) {
+			return nil, nil, fmt.Errorf("btree: internal %d separators out of order", pn)
+		}
+	}
+	childLo := lo
+	for i := -1; i < len(n.ints); i++ {
+		var child uint32
+		var childHi *Entry
+		if i < 0 {
+			child = n.link
+		} else {
+			child = n.ints[i].child
+			childLo = &n.ints[i].e
+		}
+		if i+1 < len(n.ints) {
+			childHi = &n.ints[i+1].e
+		} else {
+			childHi = hi
+		}
+		mn, _, err := t.check(child, childLo, childHi)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i >= 0 && mn != nil && mn.Less(n.ints[i].e) {
+			return nil, nil, fmt.Errorf("btree: separator %v above child min %v", n.ints[i].e, *mn)
+		}
+	}
+	return nil, nil, nil
+}

@@ -1,0 +1,255 @@
+// Package buffer implements the shared in-memory cache of recently used
+// 8 KB data pages. The paper: "POSTGRES maintains an in-memory shared
+// cache of recently used 8 KByte data pages. The size of this cache is
+// tunable when the file system is installed; as shipped, the system uses
+// 64 buffers, but the version in use locally uses 300. Data pages are
+// kicked out of this cache in LRU order, regardless of the device from
+// which they came. Dirty pages are written to backing store before being
+// deleted from the cache."
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/page"
+)
+
+// DefaultBuffers is the as-shipped cache size; LocalBuffers is the size
+// the Berkeley installation ran with.
+const (
+	DefaultBuffers = 64
+	LocalBuffers   = 300
+)
+
+// Backend supplies and accepts pages; *device.Switch implements it.
+type Backend interface {
+	NPages(rel device.OID) (uint32, error)
+	Extend(rel device.OID) (uint32, error)
+	ReadPage(rel device.OID, page uint32, buf []byte) error
+	WritePage(rel device.OID, page uint32, buf []byte) error
+}
+
+// Key names one cached page.
+type Key struct {
+	Rel  device.OID
+	Page uint32
+}
+
+// Frame is one cached page. Callers must hold the frame via Pool.Get /
+// Pool.NewPage, serialise access to Data with Lock/Unlock, and return
+// it with Pool.Release.
+type Frame struct {
+	Key  Key
+	Data page.Page
+
+	mu    sync.Mutex
+	pins  int
+	dirty bool
+	el    *list.Element
+}
+
+// Lock latches the frame's contents.
+func (f *Frame) Lock() { f.mu.Lock() }
+
+// Unlock releases the content latch.
+func (f *Frame) Unlock() { f.mu.Unlock() }
+
+// Pool is the shared LRU buffer cache.
+type Pool struct {
+	mu       sync.Mutex
+	backend  Backend
+	capacity int
+	frames   map[Key]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+
+	hits, misses, writebacks int64
+}
+
+// NewPool returns a cache of the given capacity (in pages) over the
+// backend. Capacity ≤ 0 selects DefaultBuffers.
+func NewPool(backend Backend, capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultBuffers
+	}
+	return &Pool{
+		backend:  backend,
+		capacity: capacity,
+		frames:   make(map[Key]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// Capacity reports the pool's frame budget.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats reports cache hits, misses, and dirty-page writebacks.
+func (p *Pool) Stats() (hits, misses, writebacks int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.writebacks
+}
+
+// evictLocked makes room for one more frame, writing back a dirty
+// victim. Called with p.mu held. If every frame is pinned the pool
+// overcommits rather than deadlocking.
+func (p *Pool) evictLocked() error {
+	for len(p.frames) >= p.capacity {
+		el := p.lru.Front()
+		if el == nil {
+			return nil // all pinned: overcommit
+		}
+		f := el.Value.(*Frame)
+		p.lru.Remove(el)
+		f.el = nil
+		delete(p.frames, f.Key)
+		if f.dirty {
+			p.writebacks++
+			f.Lock()
+			err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
+			f.Unlock()
+			if err != nil {
+				return fmt.Errorf("buffer: writeback %v: %w", f.Key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Get returns the frame for (rel, pageNo), pinned. On a miss the page
+// is read from the backend.
+func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
+	p.mu.Lock()
+	key := Key{rel, pageNo}
+	if f, ok := p.frames[key]; ok {
+		p.hits++
+		f.pins++
+		if f.el != nil {
+			p.lru.Remove(f.el)
+			f.el = nil
+		}
+		p.mu.Unlock()
+		return f, nil
+	}
+	p.misses++
+	if err := p.evictLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1}
+	// Fill while holding the pool lock: backend reads are memory copies
+	// plus virtual-clock charges, so this is cheap and makes the frame
+	// fully initialised before any other goroutine can observe it.
+	if err := p.backend.ReadPage(rel, pageNo, f.Data); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.frames[key] = f
+	p.mu.Unlock()
+	return f, nil
+}
+
+// NewPage extends rel by one page and returns its pinned, zeroed frame.
+func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
+	pageNo, err := p.backend.Extend(rel)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.evictLocked(); err != nil {
+		return nil, 0, err
+	}
+	key := Key{rel, pageNo}
+	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1, dirty: true}
+	p.frames[key] = f
+	return f, pageNo, nil
+}
+
+// Release unpins a frame, marking it dirty if the caller modified it.
+func (p *Pool) Release(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 && f.el == nil {
+		f.el = p.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes every dirty frame to the backend in sorted
+// (relation, page) order — the elevator discipline every real buffer
+// manager uses, which keeps force-at-commit writes as sequential as the
+// data allows. Frames stay cached. This is the force-at-commit policy
+// the no-overwrite storage manager depends on for durability without a
+// write-ahead log.
+func (p *Pool) FlushAll() error {
+	return p.flushWhere(func(Key) bool { return true })
+}
+
+// FlushRel writes the dirty frames of one relation, sorted by page.
+func (p *Pool) FlushRel(rel device.OID) error {
+	return p.flushWhere(func(k Key) bool { return k.Rel == rel })
+}
+
+func (p *Pool) flushWhere(match func(Key) bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dirty []*Frame
+	for _, f := range p.frames {
+		if f.dirty && match(f.Key) {
+			dirty = append(dirty, f)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool {
+		a, b := dirty[i].Key, dirty[j].Key
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		return a.Page < b.Page
+	})
+	for _, f := range dirty {
+		p.writebacks++
+		f.Lock()
+		err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
+		f.Unlock()
+		if err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// InvalidateRel drops all frames of a relation without writing them,
+// for use after dropping the relation.
+func (p *Pool) InvalidateRel(rel device.OID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, f := range p.frames {
+		if key.Rel == rel {
+			if f.el != nil {
+				p.lru.Remove(f.el)
+			}
+			delete(p.frames, key)
+		}
+	}
+}
+
+// Crash discards every frame, dirty or not, without writing. It
+// simulates losing volatile memory so recovery tests can verify that
+// the status log alone reconstructs a consistent state.
+func (p *Pool) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[Key]*Frame)
+	p.lru.Init()
+}
+
+// NPages reports the relation's page count from the backend.
+func (p *Pool) NPages(rel device.OID) (uint32, error) { return p.backend.NPages(rel) }

@@ -1,0 +1,240 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func newPool(t *testing.T, capacity int) (*Pool, *device.Switch) {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	return NewPool(sw, capacity), sw
+}
+
+func TestGetMissAndHit(t *testing.T) {
+	p, sw := newPool(t, 4)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f, false)
+	f2, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f2, false)
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	p, sw := newPool(t, 2)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Create 3 pages; pool holds 2.
+	for i := 0; i < 3; i++ {
+		f, _, err := p.NewPage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Lock()
+		f.Data[0] = byte(i + 1)
+		f.Unlock()
+		p.Release(f, true)
+	}
+	// Page 0 must have been evicted and written back; read it again.
+	f, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	got := f.Data[0]
+	f.Unlock()
+	p.Release(f, false)
+	if got != 1 {
+		t.Fatalf("evicted page lost contents: %d", got)
+	}
+	_, _, wb := p.Stats()
+	if wb == 0 {
+		t.Fatal("no writebacks recorded")
+	}
+}
+
+func TestPinnedFramesNotEvicted(t *testing.T) {
+	p, sw := newPool(t, 2)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	f0, _, err := p.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep f0 pinned while churning more pages than capacity.
+	var frames []*Frame
+	for i := 0; i < 5; i++ {
+		f, _, err := p.NewPage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	f0.Lock()
+	f0.Data[0] = 0xEE
+	f0.Unlock()
+	for _, f := range frames {
+		p.Release(f, false)
+	}
+	p.Release(f0, true)
+	f, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	got := f.Data[0]
+	f.Unlock()
+	p.Release(f, false)
+	if got != 0xEE {
+		t.Fatal("pinned frame was evicted mid-use")
+	}
+}
+
+func TestFlushAllThenCrashKeepsData(t *testing.T) {
+	p, sw := newPool(t, 8)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := p.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	f.Data[0] = 0x42
+	f.Unlock()
+	p.Release(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Crash()
+	f, err = p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	got := f.Data[0]
+	f.Unlock()
+	p.Release(f, false)
+	if got != 0x42 {
+		t.Fatal("flushed page lost after crash")
+	}
+}
+
+func TestCrashDropsUnflushed(t *testing.T) {
+	p, sw := newPool(t, 8)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := p.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	f.Data[0] = 0x42
+	f.Unlock()
+	p.Release(f, true)
+	p.Crash() // no flush
+	f, err = p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	got := f.Data[0]
+	f.Unlock()
+	p.Release(f, false)
+	if got != 0 {
+		t.Fatal("unflushed dirty page survived crash")
+	}
+}
+
+func TestInvalidateRel(t *testing.T) {
+	p, sw := newPool(t, 8)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Place(2, ""); err != nil {
+		t.Fatal(err)
+	}
+	f1, _, _ := p.NewPage(1)
+	p.Release(f1, true)
+	f2, _, _ := p.NewPage(2)
+	f2.Lock()
+	f2.Data[0] = 7
+	f2.Unlock()
+	p.Release(f2, true)
+	p.InvalidateRel(1)
+	// Relation 2 still cached and intact.
+	f, err := p.Get(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	got := f.Data[0]
+	f.Unlock()
+	p.Release(f, false)
+	if got != 7 {
+		t.Fatal("InvalidateRel damaged other relation")
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	p, sw := newPool(t, 16)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := sw.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pn := uint32((g*7 + i) % 32)
+				f, err := p.Get(1, pn)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.Lock()
+				f.Data[1] = byte(pn)
+				f.Unlock()
+				p.Release(f, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	p, _ := newPool(t, 0)
+	if p.Capacity() != DefaultBuffers {
+		t.Fatalf("capacity = %d", p.Capacity())
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/rowenc"
+)
+
+// TypeDirectory is the file type of directories.
+const TypeDirectory = "directory"
+
+// Attribute flags.
+const (
+	// FlagCompressed marks a file whose chunks are stored compressed,
+	// with per-chunk uncompressed sizes recorded so random access stays
+	// cheap ("Services Under Investigation").
+	FlagCompressed uint32 = 1 << iota
+	// FlagNoHistory marks a file whose old versions need not be saved:
+	// "For files in which the user has no interest in maintaining
+	// history, POSTGRES can be instructed not to save old versions."
+	FlagNoHistory
+)
+
+// FileAttr is one row of the fileatt table:
+//
+//	fileatt(file = object_id, owner = owner_id, type = type_id,
+//	        size = longlong, ctime = time, mtime = time, atime = time)
+//
+// extended with the chunk-index relation OID, storage flags, and the
+// device class the file was placed on at creation ("the mode flag to
+// p_open and p_creat encodes the device on which the file should reside
+// at creation time").
+type FileAttr struct {
+	File  device.OID
+	Idx   device.OID
+	Owner string
+	Type  string
+	Size  int64
+	CTime int64
+	MTime int64
+	ATime int64
+	Flags uint32
+	Class string
+}
+
+// IsDir reports whether the attributes describe a directory.
+func (a FileAttr) IsDir() bool { return a.Type == TypeDirectory }
+
+// Compressed reports whether chunk payloads are stored compressed.
+func (a FileAttr) Compressed() bool { return a.Flags&FlagCompressed != 0 }
+
+// NoHistory reports whether old versions of this file may be discarded.
+func (a FileAttr) NoHistory() bool { return a.Flags&FlagNoHistory != 0 }
+
+func encodeAttr(a FileAttr) []byte {
+	return rowenc.NewWriter(96).
+		Uint32(uint32(a.File)).
+		Uint32(uint32(a.Idx)).
+		String(a.Owner).
+		String(a.Type).
+		Int64(a.Size).
+		Int64(a.CTime).
+		Int64(a.MTime).
+		Int64(a.ATime).
+		Uint32(a.Flags).
+		String(a.Class).
+		Done()
+}
+
+func decodeAttr(b []byte) (FileAttr, error) {
+	r := rowenc.NewReader(b)
+	a := FileAttr{
+		File:  device.OID(r.Uint32()),
+		Idx:   device.OID(r.Uint32()),
+		Owner: r.String(),
+		Type:  r.String(),
+		Size:  r.Int64(),
+		CTime: r.Int64(),
+		MTime: r.Int64(),
+		ATime: r.Int64(),
+		Flags: r.Uint32(),
+	}
+	a.Class = r.String()
+	return a, r.Err()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Chunk compression ("Services Under Investigation"): Inversion
+// "supports compression and uncompression of 'chunks' of user files.
+// Special indices are maintained indicating the sizes of the
+// uncompressed and compressed chunks. Random access on the uncompressed
+// version is straightforward." Because the logical chunk size is fixed,
+// the byte offset → chunk number mapping is unchanged; each stored
+// chunk carries a method byte and its uncompressed length, and a chunk
+// that does not compress is stored raw so the record still fits on one
+// page.
+
+// Compression methods stored in the chunk envelope.
+const (
+	chunkRaw   byte = 0
+	chunkFlate byte = 1
+)
+
+// compressChunk wraps chunk contents in the compression envelope:
+// method(1) | rawLen(4) | payload.
+func compressChunk(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(chunkFlate)
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(data)))
+	buf.Write(lenb[:])
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if buf.Len()-5 >= len(data) {
+		// Incompressible: store raw.
+		out := make([]byte, 5+len(data))
+		out[0] = chunkRaw
+		binary.LittleEndian.PutUint32(out[1:], uint32(len(data)))
+		copy(out[5:], data)
+		return out, nil
+	}
+	return buf.Bytes(), nil
+}
+
+// decompressChunk unwraps the envelope written by compressChunk.
+func decompressChunk(stored []byte) ([]byte, error) {
+	if len(stored) < 5 {
+		return nil, fmt.Errorf("inversion: compressed chunk too short (%d bytes)", len(stored))
+	}
+	method := stored[0]
+	rawLen := binary.LittleEndian.Uint32(stored[1:])
+	body := stored[5:]
+	switch method {
+	case chunkRaw:
+		if int(rawLen) != len(body) {
+			return nil, fmt.Errorf("inversion: raw chunk length mismatch: %d vs %d", rawLen, len(body))
+		}
+		return clone(body), nil
+	case chunkFlate:
+		r := flate.NewReader(bytes.NewReader(body))
+		out := make([]byte, 0, rawLen)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		if len(out) != int(rawLen) {
+			return nil, fmt.Errorf("inversion: decompressed %d bytes, header says %d", len(out), rawLen)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("inversion: unknown chunk compression method %d", method)
+	}
+}
+
+// StoredSizes reports the uncompressed and stored sizes of every chunk
+// of a compressed file, in chunk order (the "special indices" of the
+// paper, surfaced for inspection and the compression ablation bench).
+func (f *File) StoredSizes() (raw, stored []int, err error) {
+	if err := f.Flush(); err != nil {
+		return nil, nil, err
+	}
+	nchunks := (f.size + ChunkSize - 1) / ChunkSize
+	for c := int64(0); c < nchunks; c++ {
+		_, rec, found, err := f.findChunk(uint32(c))
+		if err != nil {
+			return nil, nil, err
+		}
+		if !found {
+			raw = append(raw, 0)
+			stored = append(stored, 0)
+			continue
+		}
+		_, data, err := decodeChunk(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if f.attr.Compressed() && len(data) >= 5 {
+			raw = append(raw, int(binary.LittleEndian.Uint32(data[1:])))
+		} else {
+			raw = append(raw, len(data))
+		}
+		stored = append(stored, len(data))
+	}
+	return raw, stored, nil
+}

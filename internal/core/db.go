@@ -1,0 +1,391 @@
+// Package core implements the Inversion file system: a file system
+// built on top of a database system. Files are decomposed into chunk
+// records stored in per-file tables, the namespace and file attributes
+// are ordinary tables, and every file system operation is a database
+// operation — which is how Inversion gets transaction protection,
+// fine-grained time travel, instant crash recovery, typed files with
+// user-defined functions, and ad hoc queries, all from "a small set of
+// routines compiled into the data manager".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/heap"
+	"repro/internal/rowenc"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Well-known OIDs (beyond the txn-log OIDs 1 and 2 and catalog OIDs
+// 5–7).
+const (
+	NamingRel      device.OID = 3  // naming(filename, parentid, file)
+	FileAttRel     device.OID = 4  // fileatt(file, owner, type, size, …)
+	NameIdxRel     device.OID = 13 // (parentid, hash(filename)) → naming TID
+	FileIdxRel     device.OID = 14 // file OID → naming TID
+	AttIdxRel      device.OID = 15 // file OID → fileatt TID
+	ArchiveRel     device.OID = 16 // vacuum archive
+	RootDirOID     device.OID = 10 // the "/" directory
+	InvalidFileOID device.OID = 0
+)
+
+// ChunkSize is the number of file bytes stored per chunk record. It is
+// computed so that a single chunk record fits exactly on one 8 KB data
+// manager page in every form it can take: plain (chunkno 4 + length
+// prefix 4), compressed-but-incompressible (+ 5-byte compression
+// envelope), and vacuumed into the archive (+ 28-byte archive header):
+// "File data are collected into chunks slightly smaller than 8 KBytes."
+const ChunkSize = heap.MaxPayload - 41
+
+// MaxFileSize is the largest Inversion file: 2^31 chunks of ChunkSize
+// bytes ≈ 17.6 TB, the figure the paper quotes (chunk numbers are
+// 32-bit signed, chunks are ~8 KB).
+const MaxFileSize = int64(1<<31) * int64(ChunkSize)
+
+// Errors returned by the file system layer.
+var (
+	ErrNotExist     = errors.New("inversion: file does not exist")
+	ErrExist        = errors.New("inversion: file already exists")
+	ErrIsDirectory  = errors.New("inversion: is a directory")
+	ErrNotDirectory = errors.New("inversion: not a directory")
+	ErrNotEmpty     = errors.New("inversion: directory not empty")
+	ErrReadOnly     = errors.New("inversion: file opened read-only")
+	ErrHistoricalWr = errors.New("inversion: historical files may not be opened for writing")
+	ErrClosed       = errors.New("inversion: file is closed")
+	ErrBadPath      = errors.New("inversion: bad path")
+	ErrFileTooBig   = errors.New("inversion: file would exceed 17.6TB limit")
+	ErrNoFunction   = errors.New("inversion: no such function")
+	ErrTypeMismatch = errors.New("inversion: function does not apply to this file type")
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Buffers is the shared page cache size (default 64, the paper's
+	// as-shipped figure; the Berkeley installation used 300).
+	Buffers int
+	// LogClass is the device class holding the transaction logs
+	// (default: the switch's default class).
+	LogClass string
+	// DefaultClass is where new files go when no class is named.
+	DefaultClass string
+	// TimeSource overrides commit timestamping (tests).
+	TimeSource func() int64
+	// TrackATime records access times on reads (costs a metadata
+	// update per read transaction; off by default).
+	TrackATime bool
+}
+
+// FileFunc is a user-defined function over a file, executed inside the
+// data manager process — the Go analogue of the dynamically loaded C
+// functions of POSTGRES 4.0.1.
+type FileFunc func(ctx *FuncCtx) (value.V, error)
+
+// DB is one Inversion database: a mount point whose files all root at
+// "/" in this database.
+type DB struct {
+	sw   *device.Switch
+	pool *buffer.Pool
+	log  *txn.Log
+	mgr  *txn.Manager
+	cat  *catalog.Catalog
+	opts Options
+
+	naming  *heap.Relation
+	fileatt *heap.Relation
+	archive *heap.Relation
+	nameIdx *btree.Tree
+	fileIdx *btree.Tree
+	attIdx  *btree.Tree
+
+	relMu   sync.Mutex
+	rels    map[device.OID]*heap.Relation
+	trees   map[device.OID]*btree.Tree
+	funcMu  sync.RWMutex
+	funcs   map[string]FileFunc
+	builtin map[string]FileFunc
+
+	valMu      sync.RWMutex
+	validators map[string]TypeValidator
+}
+
+// Open opens (or bootstraps) an Inversion database over the device
+// switch. The switch must have at least one registered device manager.
+func Open(sw *device.Switch, opts Options) (*DB, error) {
+	if opts.Buffers <= 0 {
+		opts.Buffers = buffer.DefaultBuffers
+	}
+	logClass := opts.LogClass
+	logDev, err := pickManager(sw, logClass)
+	if err != nil {
+		return nil, err
+	}
+	log, err := txn.OpenLog(logDev)
+	if err != nil {
+		return nil, err
+	}
+	mgr := txn.NewManager(log)
+	if opts.TimeSource != nil {
+		mgr.TimeSource = opts.TimeSource
+	}
+	pool := buffer.NewPool(sw, opts.Buffers)
+	mgr.ForceData = func() error {
+		if err := pool.FlushAll(); err != nil {
+			return err
+		}
+		return sw.Sync()
+	}
+
+	db := &DB{
+		sw:    sw,
+		pool:  pool,
+		log:   log,
+		mgr:   mgr,
+		opts:  opts,
+		rels:  make(map[device.OID]*heap.Relation),
+		trees: make(map[device.OID]*btree.Tree),
+		funcs: make(map[string]FileFunc),
+	}
+
+	// Ensure the fixed relations exist and are placed.
+	fixed := []struct {
+		oid  device.OID
+		kind catalog.RelKind
+	}{
+		{catalog.RelationsRel, catalog.KindHeap},
+		{catalog.TypesRel, catalog.KindHeap},
+		{catalog.FunctionsRel, catalog.KindHeap},
+		{NamingRel, catalog.KindHeap},
+		{FileAttRel, catalog.KindHeap},
+		{ArchiveRel, catalog.KindHeap},
+		{NameIdxRel, catalog.KindIndex},
+		{FileIdxRel, catalog.KindIndex},
+		{AttIdxRel, catalog.KindIndex},
+	}
+	for _, f := range fixed {
+		if _, err := sw.Home(f.oid); err != nil {
+			if err := sw.Place(f.oid, opts.DefaultClass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	db.naming = heap.Open(NamingRel, pool, mgr)
+	db.fileatt = heap.Open(FileAttRel, pool, mgr)
+	db.archive = heap.Open(ArchiveRel, pool, mgr)
+	if db.nameIdx, err = btree.Open(NameIdxRel, pool); err != nil {
+		return nil, err
+	}
+	if db.fileIdx, err = btree.Open(FileIdxRel, pool); err != nil {
+		return nil, err
+	}
+	if db.attIdx, err = btree.Open(AttIdxRel, pool); err != nil {
+		return nil, err
+	}
+
+	cat, err := catalog.Open(
+		heap.Open(catalog.RelationsRel, pool, mgr),
+		heap.Open(catalog.TypesRel, pool, mgr),
+		heap.Open(catalog.FunctionsRel, pool, mgr),
+		mgr, sw)
+	if err != nil {
+		return nil, err
+	}
+	db.cat = cat
+	cat.NoteOID(RootDirOID)
+
+	// Re-place catalogued relations whose home the switch does not know
+	// — this is how a persistent database reopened over a fresh switch
+	// finds its file tables again (the catalog records each relation's
+	// device class).
+	for _, ri := range cat.Relations() {
+		if _, err := sw.Home(ri.OID); err != nil {
+			if err := sw.Place(ri.OID, ri.Class); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	db.registerBuiltins()
+
+	// Bootstrap the root directory if this database is fresh: "The
+	// root directory, named '/', appears in every POSTGRES database as
+	// shipped from Berkeley."
+	if _, _, err := db.lookupChild(mgr.CurrentSnapshot(), 0, "/"); errors.Is(err, ErrNotExist) {
+		if err := db.bootstrapRoot(); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func pickManager(sw *device.Switch, class string) (device.Manager, error) {
+	if class != "" {
+		return sw.Manager(class)
+	}
+	classes := sw.Classes()
+	if len(classes) == 0 {
+		return nil, errors.New("inversion: device switch has no managers")
+	}
+	// Prefer NVRAM for the logs if present, else any manager.
+	if m, err := sw.Manager("mem"); err == nil {
+		return m, nil
+	}
+	return sw.Manager(classes[0])
+}
+
+func (db *DB) bootstrapRoot() error {
+	x := txn.BootstrapXID
+	tidN, err := db.naming.Insert(x, encodeNaming("/", 0, RootDirOID))
+	if err != nil {
+		return err
+	}
+	if _, err := db.nameIdx.Insert(btree.Entry{Key: nameKey(0, "/"), Val: tidN.Pack()}); err != nil {
+		return err
+	}
+	if _, err := db.fileIdx.Insert(btree.Entry{Key: oidKey(RootDirOID), Val: tidN.Pack()}); err != nil {
+		return err
+	}
+	attr := FileAttr{
+		File: RootDirOID, Owner: "root", Type: TypeDirectory,
+	}
+	tidA, err := db.fileatt.Insert(x, encodeAttr(attr))
+	if err != nil {
+		return err
+	}
+	if _, err := db.attIdx.Insert(btree.Entry{Key: oidKey(RootDirOID), Val: tidA.Pack()}); err != nil {
+		return err
+	}
+	return db.pool.FlushAll()
+}
+
+// Manager exposes the transaction manager.
+func (db *DB) Manager() *txn.Manager { return db.mgr }
+
+// Catalog exposes the system catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (benchmarks read its stats).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Switch exposes the device switch.
+func (db *DB) Switch() *device.Switch { return db.sw }
+
+// Stats aggregates operational counters for monitoring.
+type Stats struct {
+	CacheHits       int64
+	CacheMisses     int64
+	CacheWritebacks int64
+	CacheCapacity   int
+	Relations       int // catalogued relations
+	Types           int
+	Functions       int
+	Horizon         txn.XID // oldest XID any live snapshot can need
+	LastCommitTime  int64
+}
+
+// Stats reports operational counters.
+func (db *DB) Stats() Stats {
+	hits, misses, wb := db.pool.Stats()
+	return Stats{
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheWritebacks: wb,
+		CacheCapacity:   db.pool.Capacity(),
+		Relations:       len(db.cat.Relations()),
+		Types:           len(db.cat.Types()),
+		Functions:       len(db.cat.Functions()),
+		Horizon:         db.mgr.Horizon(),
+		LastCommitTime:  db.mgr.LastCommitTime(),
+	}
+}
+
+// Close flushes every dirty page and forces the devices, leaving the
+// database cleanly reopenable. Device managers themselves (e.g. a
+// persistent FileDisk) are owned by the caller and closed separately.
+func (db *DB) Close() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.sw.Sync()
+}
+
+// Crash simulates a machine crash for recovery tests: the buffer cache
+// is lost; stable storage survives. Reopen with Recover.
+func (db *DB) Crash() { db.pool.Crash() }
+
+// Recover reopens the database over the same devices after a Crash.
+// There is no consistency check pass: recovery is the reopen itself.
+func (db *DB) Recover() (*DB, error) { return Open(db.sw, db.opts) }
+
+// dataRel returns (caching) the heap relation handle for a file's
+// chunk table.
+func (db *DB) dataRel(oid device.OID) *heap.Relation {
+	db.relMu.Lock()
+	defer db.relMu.Unlock()
+	r, ok := db.rels[oid]
+	if !ok {
+		r = heap.Open(oid, db.pool, db.mgr)
+		db.rels[oid] = r
+	}
+	return r
+}
+
+// chunkTree returns (caching) the B-tree handle for a file's chunk
+// index.
+func (db *DB) chunkTree(oid device.OID) (*btree.Tree, error) {
+	db.relMu.Lock()
+	defer db.relMu.Unlock()
+	t, ok := db.trees[oid]
+	if !ok {
+		var err error
+		t, err = btree.Open(oid, db.pool)
+		if err != nil {
+			return nil, err
+		}
+		db.trees[oid] = t
+	}
+	return t, nil
+}
+
+// nameKey builds the naming-index key for a child name under a parent
+// directory.
+func nameKey(parent device.OID, name string) btree.Key {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return btree.Key{K1: uint64(parent), K2: h.Sum64()}
+}
+
+// oidKey builds a single-OID index key.
+func oidKey(oid device.OID) btree.Key { return btree.Key{K1: uint64(oid)} }
+
+// Naming rows: naming(filename = char[], parentid = object_id,
+// file = object_id).
+func encodeNaming(name string, parent, file device.OID) []byte {
+	return rowenc.NewWriter(32).String(name).Uint32(uint32(parent)).Uint32(uint32(file)).Done()
+}
+
+func decodeNaming(b []byte) (name string, parent, file device.OID, err error) {
+	r := rowenc.NewReader(b)
+	name = r.String()
+	parent = device.OID(r.Uint32())
+	file = device.OID(r.Uint32())
+	return name, parent, file, r.Err()
+}
+
+// DataRelName reports the name of the table storing a file's chunks:
+// "The name of the POSTGRES table storing data chunks for /etc/passwd
+// would be inv23114."
+func DataRelName(oid device.OID) string { return fmt.Sprintf("inv%d", oid) }
+
+// IdxRelName names a file's chunk-number index relation.
+func IdxRelName(oid device.OID) string { return fmt.Sprintf("inv%d_chunk_idx", oid) }

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/heap"
+	"repro/internal/rowenc"
+	"repro/internal/txn"
+)
+
+// File is an open Inversion file. Byte-oriented operations are turned
+// into operations on chunk records; "multiple small sequential writes
+// during a single transaction are coalesced to maximize the size of the
+// chunk stored in each database record". File implements io.Reader,
+// io.Writer, io.Seeker, io.ReaderAt, io.WriterAt and io.Closer.
+//
+// A File is bound to the transaction (or historical snapshot) it was
+// opened under and is not safe for concurrent use, matching the paper's
+// single-transaction-per-application client library.
+type File struct {
+	db        *DB
+	tx        *txn.Tx
+	snap      *txn.Snapshot
+	oid       device.OID
+	attr      FileAttr
+	data      *heap.Relation
+	idx       *btree.Tree
+	pos       int64
+	size      int64
+	writable  bool
+	closed    bool
+	metaDirt  bool
+	readSeen  bool
+	wroteData bool
+
+	// Write-coalescing buffer: wbuf holds bytes for [wstart, wstart+len).
+	wbuf   []byte
+	wstart int64
+
+	// closeHook, set by the session layer, runs last in Close with
+	// Close's error so far; for autocommit opens it commits or aborts
+	// the file's private transaction.
+	closeHook func(error) error
+}
+
+// CreateTx creates a new file under an explicit transaction. class
+// selects the device manager ("A file is located on a particular device
+// manager at creation"); "" means the database default. A uniquely
+// named table inv<oid> is created for the file's chunks, plus a B-tree
+// on the chunk number.
+func (db *DB) CreateTx(tx *txn.Tx, path, owner, fileType, class string, flags uint32) (*File, error) {
+	snap := db.writeSnap(tx)
+	parent, name, err := db.splitDirBase(snap, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.lockName(tx, parent, name); err != nil {
+		return nil, err
+	}
+	snap = db.writeSnap(tx) // re-read after the lock serialised us
+	if _, _, err := db.lookupChild(snap, parent, name); err == nil {
+		return nil, fmt.Errorf("%w: %q", ErrExist, path)
+	} else if !isNotExist(err) {
+		return nil, err
+	}
+	if class == "" {
+		class = db.opts.DefaultClass
+	}
+	if fileType != "" && fileType != TypeDirectory {
+		if _, ok := db.cat.Type(fileType); !ok {
+			return nil, fmt.Errorf("inversion: file type %q is not defined", fileType)
+		}
+	}
+	oid := db.cat.AllocOID()
+	if err := tx.Lock(txn.LockTag{Space: txn.SpaceRelation, Rel: oid}, txn.LockExclusive); err != nil {
+		return nil, err
+	}
+	if _, err := db.cat.CreateRelationAt(tx, oid, DataRelName(oid), class, catalog.KindHeap); err != nil {
+		return nil, err
+	}
+	idxInfo, err := db.cat.CreateRelation(tx, IdxRelName(oid), class, catalog.KindIndex)
+	if err != nil {
+		return nil, err
+	}
+	now := db.mgr.TimeSource()
+	attr := FileAttr{
+		File: oid, Idx: idxInfo.OID, Owner: owner, Type: fileType,
+		CTime: now, MTime: now, ATime: now, Flags: flags, Class: class,
+	}
+	if err := db.addNaming(tx, name, parent, oid); err != nil {
+		return nil, err
+	}
+	tidA, err := db.fileatt.Insert(tx.ID(), encodeAttr(attr))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: tidA.Pack()}); err != nil {
+		return nil, err
+	}
+	if err := db.touchMTime(tx, snap, parent); err != nil {
+		return nil, err
+	}
+	idxTree, err := db.chunkTree(idxInfo.OID)
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		db: db, tx: tx, snap: snap, oid: oid, attr: attr,
+		data: db.dataRel(oid), idx: idxTree, writable: true,
+	}, nil
+}
+
+// OpenTx opens an existing file under an explicit transaction. Writers
+// take an exclusive lock on the file; readers share.
+func (db *DB) OpenTx(tx *txn.Tx, path string, write bool) (*File, error) {
+	snap := tx.Snapshot()
+	if write {
+		// Writers use a current read: once the exclusive lock is held,
+		// the version chain this transaction will extend is the latest
+		// committed one, not the one its start-time snapshot saw.
+		snap = db.writeSnap(tx)
+	}
+	oid, err := db.Resolve(snap, path)
+	if err != nil {
+		return nil, err
+	}
+	mode := txn.LockShared
+	if write {
+		mode = txn.LockExclusive
+	}
+	if err := tx.Lock(txn.LockTag{Space: txn.SpaceRelation, Rel: oid}, mode); err != nil {
+		return nil, err
+	}
+	if write {
+		snap = db.writeSnap(tx)
+	}
+	return db.openByOID(tx, snap, oid, write)
+}
+
+// OpenAsOf opens the file as it existed at time asof ("the p_open call
+// includes a parameter to specify the time for which the file should be
+// viewed. Historical files may not be opened for writing."). No locks
+// are taken: history is immutable.
+func (db *DB) OpenAsOf(path string, asof int64) (*File, error) {
+	snap := db.mgr.AsOf(asof)
+	oid, err := db.Resolve(snap, path)
+	if err != nil {
+		return nil, err
+	}
+	return db.openByOID(nil, snap, oid, false)
+}
+
+func (db *DB) openByOID(tx *txn.Tx, snap *txn.Snapshot, oid device.OID, write bool) (*File, error) {
+	attr, _, err := db.getAttr(snap, oid)
+	if err != nil {
+		return nil, err
+	}
+	if attr.IsDir() {
+		return nil, ErrIsDirectory
+	}
+	idxTree, err := db.chunkTree(attr.Idx)
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		db: db, tx: tx, snap: snap, oid: oid, attr: attr,
+		data: db.dataRel(oid), idx: idxTree,
+		size: attr.Size, writable: write,
+	}, nil
+}
+
+// OID reports the file's object identifier.
+func (f *File) OID() device.OID { return f.oid }
+
+// Attr reports the file's attributes as of open (size reflects writes
+// through this handle).
+func (f *File) Attr() FileAttr {
+	a := f.attr
+	a.Size = f.size
+	return a
+}
+
+// Size reports the file's current logical size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// chunk row: chunkno(4) | payload (length-prefixed). Compressed files
+// interpose a raw-length field; see compress.go.
+func encodeChunk(chunkno uint32, data []byte) []byte {
+	return rowenc.NewWriter(8 + len(data)).Uint32(chunkno).Bytes(data).Done()
+}
+
+func decodeChunk(rec []byte) (chunkno uint32, data []byte, err error) {
+	r := rowenc.NewReader(rec)
+	chunkno = r.Uint32()
+	data = r.Bytes()
+	return chunkno, data, r.Err()
+}
+
+// findChunk returns the visible record of a chunk, if any. Versions are
+// probed newest-first via the shared index helper, so heavily rewritten
+// chunks do not pay for their dead history on every read. The chunk
+// number is verified on the record itself so archive fallbacks (which
+// bypass the index) cannot return the wrong chunk.
+func (f *File) findChunk(chunkno uint32) (heap.TID, []byte, bool, error) {
+	return f.db.fetchVisible(f.idx, btree.Key{K1: uint64(chunkno)}, f.data, f.snap,
+		func(rec []byte) (bool, error) {
+			no, _, err := decodeChunk(rec)
+			if err != nil {
+				return false, err
+			}
+			return no == chunkno, nil
+		})
+}
+
+// readChunk returns the (decompressed) contents of a chunk, or nil for
+// a hole.
+func (f *File) readChunk(chunkno uint32) ([]byte, error) {
+	_, rec, found, err := f.findChunk(chunkno)
+	if err != nil || !found {
+		return nil, err
+	}
+	no, data, err := decodeChunk(rec)
+	if err != nil {
+		return nil, err
+	}
+	if no != chunkno {
+		return nil, fmt.Errorf("inversion: chunk index pointed %d at record %d", chunkno, no)
+	}
+	if f.attr.Compressed() {
+		return decompressChunk(data)
+	}
+	return data, nil
+}
+
+// writeChunk stores the complete new contents of a chunk: the visible
+// old version (if any) is superseded in the normal no-overwrite way and
+// the index gains an entry for the new record. Old index entries stay;
+// they are how historical versions of the file are found.
+func (f *File) writeChunk(chunkno uint32, data []byte) error {
+	if f.attr.Compressed() {
+		var err error
+		data, err = compressChunk(data)
+		if err != nil {
+			return err
+		}
+	}
+	rec := encodeChunk(chunkno, data)
+	oldTID, _, found, err := f.findChunk(chunkno)
+	if err != nil {
+		return err
+	}
+	var newTID heap.TID
+	if found {
+		newTID, err = f.data.Update(f.tx.ID(), oldTID, rec)
+	} else {
+		newTID, err = f.data.Insert(f.tx.ID(), rec)
+	}
+	if err != nil {
+		return err
+	}
+	f.wroteData = true
+	_, err = f.idx.Insert(btree.Entry{Key: btree.Key{K1: uint64(chunkno)}, Val: newTID.Pack()})
+	return err
+}
+
+// deleteChunk removes the visible version of a chunk (truncation).
+func (f *File) deleteChunk(chunkno uint32) error {
+	tid, _, found, err := f.findChunk(chunkno)
+	if err != nil || !found {
+		return err
+	}
+	f.wroteData = true
+	return f.data.Delete(f.tx.ID(), tid)
+}
+
+// Write implements io.Writer at the current position.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// WriteAt implements io.WriterAt. Sequential writes accumulate in the
+// coalescing buffer; anything else flushes first.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	if off+int64(len(p)) > MaxFileSize {
+		return 0, ErrFileTooBig
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if len(f.wbuf) > 0 && off != f.wstart+int64(len(f.wbuf)) {
+		if err := f.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	if len(f.wbuf) == 0 {
+		f.wstart = off
+	}
+	f.wbuf = append(f.wbuf, p...)
+	if end := off + int64(len(p)); end > f.size {
+		f.size = end
+	}
+	f.metaDirt = true
+	// Flush whole chunks eagerly so the buffer stays bounded.
+	if err := f.flushFullChunks(); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// flushFullChunks writes out every chunk the buffer fully covers,
+// keeping any partial tail (and partial head) buffered.
+func (f *File) flushFullChunks() error {
+	for {
+		start := f.wstart
+		if len(f.wbuf) < ChunkSize {
+			return nil
+		}
+		chunkno := start / ChunkSize
+		chunkStart := chunkno * ChunkSize
+		if start != chunkStart {
+			// Buffer starts mid-chunk: flush the partial head so the
+			// rest aligns.
+			headLen := chunkStart + ChunkSize - start
+			if int64(len(f.wbuf)) < headLen {
+				return nil
+			}
+			if err := f.flushRange(start, f.wbuf[:headLen]); err != nil {
+				return err
+			}
+			f.wbuf = f.wbuf[headLen:]
+			f.wstart += headLen
+			continue
+		}
+		if err := f.writeChunk(uint32(chunkno), clone(f.wbuf[:ChunkSize])); err != nil {
+			return err
+		}
+		f.wbuf = f.wbuf[ChunkSize:]
+		f.wstart += ChunkSize
+	}
+}
+
+// Flush empties the coalescing buffer into chunk records.
+func (f *File) Flush() error {
+	if len(f.wbuf) == 0 {
+		return nil
+	}
+	buf, start := f.wbuf, f.wstart
+	f.wbuf, f.wstart = f.wbuf[:0], 0
+	return f.flushRange(start, buf)
+}
+
+// flushRange applies buffered bytes covering [start, start+len(buf)) to
+// the underlying chunks, merging with existing contents where the range
+// covers a chunk only partially.
+func (f *File) flushRange(start int64, buf []byte) error {
+	for len(buf) > 0 {
+		chunkno := start / ChunkSize
+		inOff := start - chunkno*ChunkSize
+		span := ChunkSize - inOff
+		if span > int64(len(buf)) {
+			span = int64(len(buf))
+		}
+		if inOff == 0 && span == ChunkSize {
+			if err := f.writeChunk(uint32(chunkno), clone(buf[:span])); err != nil {
+				return err
+			}
+		} else {
+			old, err := f.readChunk(uint32(chunkno))
+			if err != nil {
+				return err
+			}
+			// The merged chunk extends to whatever is larger: the old
+			// contents, or the end of this write (bounded by the file
+			// size for interior chunks).
+			newLen := int64(len(old))
+			if inOff+span > newLen {
+				newLen = inOff + span
+			}
+			if limit := f.size - chunkno*ChunkSize; limit < newLen {
+				newLen = limit
+			}
+			if limit := int64(ChunkSize); limit < newLen {
+				newLen = limit
+			}
+			merged := make([]byte, newLen)
+			copy(merged, old)
+			copy(merged[inOff:], buf[:span])
+			if err := f.writeChunk(uint32(chunkno), merged); err != nil {
+				return err
+			}
+		}
+		start += span
+		buf = buf[span:]
+	}
+	return nil
+}
+
+// Read implements io.Reader at the current position.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt. Holes read as zeros; reads past the
+// end return io.EOF.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if err := f.Flush(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	f.readSeen = true
+	total := int64(len(p))
+	if off+total > f.size {
+		total = f.size - off
+	}
+	read := int64(0)
+	for read < total {
+		pos := off + read
+		chunkno := pos / ChunkSize
+		inOff := pos - chunkno*ChunkSize
+		span := ChunkSize - inOff
+		if span > total-read {
+			span = total - read
+		}
+		data, err := f.readChunk(uint32(chunkno))
+		if err != nil {
+			return int(read), err
+		}
+		dst := p[read : read+span]
+		for i := range dst {
+			dst[i] = 0
+		}
+		if int64(len(data)) > inOff {
+			copy(dst, data[inOff:])
+		}
+		read += span
+	}
+	var err error
+	if off+read >= f.size && read < int64(len(p)) {
+		err = io.EOF
+	}
+	return int(read), err
+}
+
+// Seek implements io.Seeker. The paper's p_lseek takes a 64-bit offset
+// split across two ints so clients can address 17.6 TB files.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if err := f.Flush(); err != nil {
+		return 0, err
+	}
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = f.pos + offset
+	case io.SeekEnd:
+		abs = f.size + offset
+	default:
+		return 0, fmt.Errorf("inversion: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("inversion: negative seek position")
+	}
+	f.pos = abs
+	return abs, nil
+}
+
+// Truncate sets the file's logical size. Shrinking removes or trims
+// chunk records (their old versions remain for time travel); growing
+// just extends the size (the gap reads as zeros).
+func (f *File) Truncate(n int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.writable {
+		return ErrReadOnly
+	}
+	if n < 0 || n > MaxFileSize {
+		return ErrFileTooBig
+	}
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	if n < f.size {
+		firstDead := (n + ChunkSize - 1) / ChunkSize
+		lastOld := (f.size - 1) / ChunkSize
+		for c := firstDead; c <= lastOld; c++ {
+			if err := f.deleteChunk(uint32(c)); err != nil {
+				return err
+			}
+		}
+		if rem := n % ChunkSize; rem > 0 {
+			boundary := n / ChunkSize
+			old, err := f.readChunk(uint32(boundary))
+			if err != nil {
+				return err
+			}
+			if int64(len(old)) > rem {
+				if err := f.writeChunk(uint32(boundary), clone(old[:rem])); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	f.size = n
+	f.metaDirt = true
+	return nil
+}
+
+// Close flushes buffered writes and records new metadata (size, mtime,
+// and optionally atime) in the fileatt table under the file's
+// transaction. For files opened outside an explicit transaction, Close
+// also commits (or, on error, aborts) the file's private transaction.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrClosed
+	}
+	err := f.closeLocked()
+	f.closed = true
+	if f.closeHook != nil {
+		return f.closeHook(err)
+	}
+	return err
+}
+
+func (f *File) closeLocked() error {
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	if f.tx == nil || f.tx.Done() {
+		return nil
+	}
+	// The attribute row is rewritten only when the size changed:
+	// forcing a metadata page (and its index page) for every same-size
+	// overwrite would double the write cost of update-in-place
+	// workloads, so mtime maintenance piggybacks on size changes, the
+	// same economy ULTRIX-era file servers made with deferred
+	// atime/mtime updates.
+	if f.metaDirt && f.size != f.attr.Size {
+		now := f.db.mgr.TimeSource()
+		size := f.size
+		if err := f.db.updateAttr(f.tx, f.snap, f.oid, func(a *FileAttr) {
+			a.Size = size
+			a.MTime = now
+			if f.db.opts.TrackATime && f.readSeen {
+				a.ATime = now
+			}
+		}); err != nil {
+			return err
+		}
+	} else if f.db.opts.TrackATime && f.readSeen && f.writable {
+		now := f.db.mgr.TimeSource()
+		if err := f.db.updateAttr(f.tx, f.snap, f.oid, func(a *FileAttr) { a.ATime = now }); err != nil {
+			return err
+		}
+	}
+	// Integrity rules ("Consistency Guarantees") run last, over the
+	// file's final state for this transaction: a violated rule fails
+	// the close, which aborts the surrounding (or autocommit)
+	// transaction — a file of a validated type can never commit
+	// structurally broken. (Callers inside explicit transactions must
+	// not ignore Close errors; Session.Commit handles this itself.)
+	return f.validateOnClose()
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompressChunk: arbitrary stored bytes must never panic the
+// chunk decompressor; they either decode or error.
+func FuzzDecompressChunk(f *testing.F) {
+	good, _ := compressChunk([]byte("seed data for the corpus"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{chunkRaw, 0, 0, 0, 0})
+	f.Add([]byte{chunkFlate, 1, 0, 0, 0, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := decompressChunk(data)
+		if err == nil && out == nil && len(data) >= 5 {
+			// nil-with-no-error is only legal for a zero-length chunk.
+			raw, err2 := decompressChunk(data)
+			if err2 == nil && len(raw) != 0 {
+				t.Fatal("inconsistent decompress results")
+			}
+		}
+	})
+}
+
+// FuzzCompressRoundTrip: whatever bytes go in must come back.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"))
+	f.Add(bytes.Repeat([]byte{0}, 5000))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > ChunkSize {
+			data = data[:ChunkSize]
+		}
+		stored, err := compressChunk(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := decompressChunk(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip: %d bytes in, %d out", len(data), len(back))
+		}
+	})
+}
+
+// FuzzSplitPath: arbitrary path strings must never panic the resolver.
+func FuzzSplitPath(f *testing.F) {
+	for _, seed := range []string{"/", "", "/a/b/c", "//", "/../..", "a", "/a/./../b"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		parts, err := SplitPath(path)
+		if err != nil {
+			return
+		}
+		for _, p := range parts {
+			if p == "" || p == "." || p == ".." {
+				t.Fatalf("SplitPath(%q) leaked component %q", path, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// TestStressConcurrentSessions runs many sessions doing a random mix of
+// operations concurrently — private namespaces for churn, one shared
+// file for lock contention, explicit multi-file transactions for
+// deadlock exposure — then verifies global consistency: every surviving
+// file reads back exactly what its last committed writer wrote, the
+// indexes agree with the heaps, and the media scrubs clean.
+func TestStressConcurrentSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	db, setup := newDB(t)
+	const workers = 6
+	const opsPerWorker = 120
+
+	if err := setup.WriteFile("/shared", []byte("initial"), CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		if err := setup.Mkdir(fmt.Sprintf("/w%d", w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type finalState struct {
+		mu    sync.Mutex
+		files map[string][]byte // last committed contents per path
+	}
+	state := &finalState{files: make(map[string][]byte)}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession(fmt.Sprintf("worker%d", w))
+			rng := newRand(int64(w + 1))
+			dir := fmt.Sprintf("/w%d", w)
+			mine := make(map[string][]byte)
+			for op := 0; op < opsPerWorker; op++ {
+				switch rng.Intn(6) {
+				case 0: // create/overwrite a private file
+					path := fmt.Sprintf("%s/f%d", dir, rng.Intn(8))
+					data := bytes.Repeat([]byte{byte(rng.Intn(256))}, 1+rng.Intn(3000))
+					if err := s.WriteFile(path, data, CreateOpts{}); err != nil {
+						errs <- fmt.Errorf("w%d write %s: %w", w, path, err)
+						return
+					}
+					mine[path] = data
+				case 1: // read a private file back
+					for path, want := range mine {
+						got, err := s.ReadFile(path)
+						if err != nil {
+							errs <- fmt.Errorf("w%d read %s: %w", w, path, err)
+							return
+						}
+						if !bytes.Equal(got, want) {
+							errs <- fmt.Errorf("w%d read %s: %d bytes, want %d", w, path, len(got), len(want))
+							return
+						}
+						break
+					}
+				case 2: // unlink a private file
+					for path := range mine {
+						if err := s.Unlink(path); err != nil {
+							errs <- fmt.Errorf("w%d unlink %s: %w", w, path, err)
+							return
+						}
+						delete(mine, path)
+						break
+					}
+				case 3: // contend on the shared file (single-op txn)
+					data := bytes.Repeat([]byte{byte(w)}, 64)
+					if err := s.WriteFile("/shared", data, CreateOpts{}); err != nil {
+						errs <- fmt.Errorf("w%d shared write: %w", w, err)
+						return
+					}
+				case 4: // read the shared file; must be some worker's full write
+					got, err := s.ReadFile("/shared")
+					if err != nil {
+						errs <- fmt.Errorf("w%d shared read: %w", w, err)
+						return
+					}
+					if len(got) > 0 && len(got) != 7 && len(got) != 64 {
+						errs <- fmt.Errorf("w%d shared read: torn %d bytes", w, len(got))
+						return
+					}
+				case 5: // explicit two-file transaction; deadlock = retry
+					err := func() error {
+						if err := s.Begin(); err != nil {
+							return err
+						}
+						a := fmt.Sprintf("%s/txa", dir)
+						b := fmt.Sprintf("%s/txb", dir)
+						if err := s.WriteFile(a, []byte("A"), CreateOpts{}); err != nil {
+							_ = s.Abort()
+							return err
+						}
+						if err := s.WriteFile(b, []byte("B"), CreateOpts{}); err != nil {
+							_ = s.Abort()
+							return err
+						}
+						mine[a], mine[b] = []byte("A"), []byte("B")
+						return s.Commit()
+					}()
+					if err != nil && !errors.Is(err, txn.ErrDeadlock) {
+						errs <- fmt.Errorf("w%d tx: %w", w, err)
+						return
+					}
+				}
+			}
+			state.mu.Lock()
+			for p, d := range mine {
+				state.files[p] = d
+			}
+			state.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Global consistency: every recorded file reads back intact.
+	verify := db.NewSession("verify")
+	for path, want := range state.files {
+		got, err := verify.ReadFile(path)
+		if err != nil {
+			t.Fatalf("verify %s: %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("verify %s: %d bytes, want %d", path, len(got), len(want))
+		}
+	}
+	// The medium scrubs clean.
+	rep, err := db.CheckMedia()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("media corrupt after stress: %+v", rep.Corrupt)
+	}
+	// Vacuum still works and preserves current state.
+	if _, err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range state.files {
+		got, err := verify.ReadFile(path)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-vacuum verify %s: %v", path, err)
+		}
+	}
+	// And the database survives a crash with all committed state.
+	db.Crash()
+	db2, err := db.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify2 := db2.NewSession("verify2")
+	for path, want := range state.files {
+		got, err := verify2.ReadFile(path)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-crash verify %s: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Type integrity rules. The paper's "Consistency Guarantees": "Since
+// many files have complicated structure and are semantically rich, it
+// is important to guarantee that they remain structurally consistent.
+// The symbol table and text space of a program, for example, contain
+// mutually dependent entries … Use of transaction processing and the
+// POSTGRES rules system can guarantee this consistency."
+//
+// A TypeValidator is the rules-system half of that guarantee: it runs
+// inside the data manager when a file of its type is closed after
+// writing, and a violation fails the close — under autocommit that
+// aborts the write transaction outright, and under an explicit
+// transaction the failed close aborts the commit. Either way a file of
+// a validated type can never be seen in a structurally inconsistent
+// committed state.
+
+// TypeValidator checks a file's structural integrity. It sees the
+// file's new contents (including the writing transaction's uncommitted
+// changes) through the usual function context.
+type TypeValidator func(ctx *FuncCtx) error
+
+type validatorRegistry struct {
+	mu sync.RWMutex
+	m  map[string]TypeValidator
+}
+
+// RegisterValidator installs (or replaces) the integrity rule for a
+// file type. Like function implementations, validators are in-process
+// code — the Go analogue of rules compiled into the data manager.
+func (db *DB) RegisterValidator(typeName string, v TypeValidator) {
+	db.valMu.Lock()
+	if db.validators == nil {
+		db.validators = make(map[string]TypeValidator)
+	}
+	db.validators[typeName] = v
+	db.valMu.Unlock()
+}
+
+// validator looks up the integrity rule for a type.
+func (db *DB) validator(typeName string) (TypeValidator, bool) {
+	db.valMu.RLock()
+	defer db.valMu.RUnlock()
+	v, ok := db.validators[typeName]
+	return v, ok
+}
+
+// validateOnClose runs the file's type rule against its post-write
+// state; it is called from Close after the coalescing buffer has been
+// flushed and before metadata is finalised.
+func (f *File) validateOnClose() error {
+	if f.attr.Type == "" || !f.wroteData {
+		return nil
+	}
+	v, ok := f.db.validator(f.attr.Type)
+	if !ok {
+		return nil
+	}
+	ctx := &FuncCtx{DB: f.db, Snap: f.snap, OID: f.oid, Attr: f.Attr()}
+	defer ctx.close()
+	if err := v(ctx); err != nil {
+		return fmt.Errorf("inversion: integrity rule for type %q rejected %s: %w",
+			f.attr.Type, DataRelName(f.oid), err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// jsonishValidator demands that a file's contents start with '{' and
+// end with '}' — a stand-in for the paper's "symbol table and text
+// space contain mutually dependent entries" example.
+func jsonishValidator(c *FuncCtx) error {
+	data, err := c.Contents()
+	if err != nil {
+		return err
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return errors.New("contents are not a braced object")
+	}
+	return nil
+}
+
+func newValidatedDB(t *testing.T) (*DB, *Session) {
+	t.Helper()
+	db, s := newDB(t)
+	if err := s.DefineType("config", "validated configuration"); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterValidator("config", jsonishValidator)
+	return db, s
+}
+
+func TestValidatorAcceptsGoodFile(t *testing.T) {
+	_, s := newValidatedDB(t)
+	if err := s.WriteFile("/ok.cfg", []byte(`{ "a": 1 }`), CreateOpts{Type: "config"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadFile("/ok.cfg")
+	if err != nil || string(got) != `{ "a": 1 }` {
+		t.Fatalf("read: %q %v", got, err)
+	}
+}
+
+func TestValidatorAbortsAutocommitWrite(t *testing.T) {
+	_, s := newValidatedDB(t)
+	err := s.WriteFile("/bad.cfg", []byte("not braced"), CreateOpts{Type: "config"})
+	if err == nil || !strings.Contains(err.Error(), "integrity rule") {
+		t.Fatalf("bad write: %v", err)
+	}
+	// The whole autocommit transaction rolled back: no file at all.
+	if _, err := s.Stat("/bad.cfg"); !isNotExist(err) {
+		t.Fatalf("rejected file exists: %v", err)
+	}
+}
+
+func TestValidatorAbortsExplicitTransactionAtCommit(t *testing.T) {
+	_, s := newValidatedDB(t)
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// A good file and a bad file in one transaction: commit must fail
+	// and take the good file with it (atomicity).
+	if err := s.WriteFile("/good.cfg", []byte(`{}`), CreateOpts{Type: "config"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Create("/bad.cfg", CreateOpts{Type: "config"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	// Session.Commit closes open files; the failing close aborts.
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit with invalid file succeeded")
+	}
+	for _, p := range []string{"/good.cfg", "/bad.cfg"} {
+		if _, err := s.Stat(p); !isNotExist(err) {
+			t.Fatalf("%s survived aborted commit: %v", p, err)
+		}
+	}
+}
+
+func TestValidatorRewriteChecked(t *testing.T) {
+	_, s := newValidatedDB(t)
+	if err := s.WriteFile("/c.cfg", []byte(`{1}`), CreateOpts{Type: "config"}); err != nil {
+		t.Fatal(err)
+	}
+	// Damaging an existing validated file is rejected...
+	f, err := s.OpenWrite("/c.cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("oops")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("damaging rewrite accepted")
+	}
+	// ...and the old contents survive.
+	got, err := s.ReadFile("/c.cfg")
+	if err != nil || string(got) != `{1}` {
+		t.Fatalf("after rejected rewrite: %q %v", got, err)
+	}
+}
+
+func TestValidatorNotRunOnReads(t *testing.T) {
+	calls := 0
+	db, s := newDB(t)
+	if err := s.DefineType("counted", ""); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterValidator("counted", func(c *FuncCtx) error {
+		calls++
+		return nil
+	})
+	if err := s.WriteFile("/c", []byte("x"), CreateOpts{Type: "counted"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("validator ran %d times for one write", calls)
+	}
+	if _, err := s.ReadFile("/c"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Open("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("validator ran on a read path (%d calls)", calls)
+	}
+}
+
+func TestUntypedFilesUnvalidated(t *testing.T) {
+	_, s := newValidatedDB(t)
+	if err := s.WriteFile("/free", []byte("anything goes"), CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatorSeesMultiChunkContents(t *testing.T) {
+	_, s := newValidatedDB(t)
+	big := fmt.Sprintf("{%s}", strings.Repeat("x", 3*ChunkSize))
+	if err := s.WriteFile("/big.cfg", []byte(big), CreateOpts{Type: "config"}); err != nil {
+		t.Fatalf("valid multi-chunk write rejected: %v", err)
+	}
+	bad := strings.Repeat("y", 3*ChunkSize)
+	if err := s.WriteFile("/bad-big.cfg", []byte(bad), CreateOpts{Type: "config"}); err == nil {
+		t.Fatal("invalid multi-chunk write accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package device implements the POSTGRES device manager switch that
+// Inversion relies on for location-transparent storage. Administrators
+// register device managers (the paper ships non-volatile RAM, magnetic
+// disk, and a 327 GB Sony WORM optical jukebox); every relation is placed
+// on one manager at creation and is thereafter addressed only by its
+// object identifier, so callers never know which device holds their data.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of a data manager page. The paper: "This page
+// size was chosen early in the design of POSTGRES, and was intended to
+// make magnetic disk transfers fast."
+const PageSize = 8192
+
+// OID identifies a relation (or any other database object). Object
+// identifiers play the role inode numbers play in a conventional file
+// system.
+type OID uint32
+
+// Errors returned by device managers.
+var (
+	ErrNoRelation   = errors.New("device: no such relation")
+	ErrNoPage       = errors.New("device: no such page")
+	ErrWriteOnce    = errors.New("device: page already written (write-once medium)")
+	ErrUnknownClass = errors.New("device: unknown device class")
+)
+
+// Manager is one entry in the device manager switch. It stores pages of
+// relations and reports a short class name ("mem", "disk", "jukebox").
+// Implementations must be safe for concurrent use.
+type Manager interface {
+	// Class reports the device class this manager implements.
+	Class() string
+	// Create registers a new, empty relation.
+	Create(rel OID) error
+	// Drop removes a relation and releases its storage.
+	Drop(rel OID) error
+	// NPages reports how many pages the relation currently has.
+	NPages(rel OID) (uint32, error)
+	// Extend appends one zeroed page to the relation and returns its
+	// page number.
+	Extend(rel OID) (uint32, error)
+	// ReadPage fills buf (len PageSize) from the given page.
+	ReadPage(rel OID, page uint32, buf []byte) error
+	// WritePage stores buf (len PageSize) to the given page.
+	WritePage(rel OID, page uint32, buf []byte) error
+	// Sync forces any device-private caching to stable storage.
+	Sync() error
+}
+
+// Switch is the device manager switch: it routes relation I/O to the
+// manager the relation was placed on at creation, exactly as the
+// bdevsw-style table in POSTGRES does.
+type Switch struct {
+	mu       sync.RWMutex
+	managers map[string]Manager
+	homes    map[OID]Manager
+	dflt     string
+}
+
+// NewSwitch returns an empty device switch.
+func NewSwitch() *Switch {
+	return &Switch{
+		managers: make(map[string]Manager),
+		homes:    make(map[OID]Manager),
+	}
+}
+
+// Register adds a manager under its class name. The first registered
+// manager becomes the default placement target.
+func (s *Switch) Register(m Manager) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.managers[m.Class()] = m
+	if s.dflt == "" {
+		s.dflt = m.Class()
+	}
+}
+
+// SetDefault selects the class used when Place is called with class "".
+func (s *Switch) SetDefault(class string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.managers[class]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClass, class)
+	}
+	s.dflt = class
+	return nil
+}
+
+// Classes lists the registered device classes.
+func (s *Switch) Classes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.managers))
+	for c := range s.managers {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Manager returns the registered manager for a class.
+func (s *Switch) Manager(class string) (Manager, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.managers[class]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClass, class)
+	}
+	return m, nil
+}
+
+// Place creates rel on the manager of the given class ("" means the
+// default class) and records the placement for later routing.
+func (s *Switch) Place(rel OID, class string) error {
+	s.mu.Lock()
+	if class == "" {
+		class = s.dflt
+	}
+	m, ok := s.managers[class]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownClass, class)
+	}
+	s.homes[rel] = m
+	s.mu.Unlock()
+	return m.Create(rel)
+}
+
+// Home reports which manager holds rel.
+func (s *Switch) Home(rel OID) (Manager, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.homes[rel]
+	if !ok {
+		return nil, fmt.Errorf("%w: oid %d", ErrNoRelation, rel)
+	}
+	return m, nil
+}
+
+// HomeClass reports the device class holding rel.
+func (s *Switch) HomeClass(rel OID) (string, error) {
+	m, err := s.Home(rel)
+	if err != nil {
+		return "", err
+	}
+	return m.Class(), nil
+}
+
+// Migrate moves every page of rel from its current manager to the
+// manager of the given class. This is the primitive the rules-driven
+// migration service ("Services Under Investigation") is built on.
+func (s *Switch) Migrate(rel OID, class string) error {
+	s.mu.Lock()
+	src, ok := s.homes[rel]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: oid %d", ErrNoRelation, rel)
+	}
+	dst, ok := s.managers[class]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownClass, class)
+	}
+	s.mu.Unlock()
+	if src == dst {
+		return nil
+	}
+	n, err := src.NPages(rel)
+	if err != nil {
+		return err
+	}
+	if err := dst.Create(rel); err != nil {
+		return err
+	}
+	buf := make([]byte, PageSize)
+	for p := uint32(0); p < n; p++ {
+		if err := src.ReadPage(rel, p, buf); err != nil {
+			return err
+		}
+		if _, err := dst.Extend(rel); err != nil {
+			return err
+		}
+		if err := dst.WritePage(rel, p, buf); err != nil {
+			return err
+		}
+	}
+	// Flip routing before dropping the source, so a racing reader is
+	// never pointed at a dropped relation.
+	s.mu.Lock()
+	s.homes[rel] = dst
+	s.mu.Unlock()
+	return src.Drop(rel)
+}
+
+// Drop removes rel from its home manager and forgets the placement.
+func (s *Switch) Drop(rel OID) error {
+	s.mu.Lock()
+	m, ok := s.homes[rel]
+	if ok {
+		delete(s.homes, rel)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: oid %d", ErrNoRelation, rel)
+	}
+	return m.Drop(rel)
+}
+
+// Route helpers: the switch itself satisfies the page I/O surface the
+// buffer cache needs, routing by relation OID.
+
+// NPages reports the page count of rel via its home manager.
+func (s *Switch) NPages(rel OID) (uint32, error) {
+	m, err := s.Home(rel)
+	if err != nil {
+		return 0, err
+	}
+	return m.NPages(rel)
+}
+
+// Extend appends a page to rel via its home manager.
+func (s *Switch) Extend(rel OID) (uint32, error) {
+	m, err := s.Home(rel)
+	if err != nil {
+		return 0, err
+	}
+	return m.Extend(rel)
+}
+
+// ReadPage reads a page of rel via its home manager.
+func (s *Switch) ReadPage(rel OID, page uint32, buf []byte) error {
+	m, err := s.Home(rel)
+	if err != nil {
+		return err
+	}
+	return m.ReadPage(rel, page, buf)
+}
+
+// WritePage writes a page of rel via its home manager.
+func (s *Switch) WritePage(rel OID, page uint32, buf []byte) error {
+	m, err := s.Home(rel)
+	if err != nil {
+		return err
+	}
+	return m.WritePage(rel, page, buf)
+}
+
+// Sync flushes every registered manager.
+func (s *Switch) Sync() error {
+	s.mu.RLock()
+	managers := make([]Manager, 0, len(s.managers))
+	for _, m := range s.managers {
+		managers = append(managers, m)
+	}
+	s.mu.RUnlock()
+	for _, m := range managers {
+		if err := m.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+func fill(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
+}
+
+func testManagerBasics(t *testing.T, m Manager) {
+	t.Helper()
+	const rel OID = 100
+	if err := m.Create(rel); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := m.NPages(rel)
+	if err != nil || n != 0 {
+		t.Fatalf("NPages = %d, %v", n, err)
+	}
+	for i := 0; i < 5; i++ {
+		pn, err := m.Extend(rel)
+		if err != nil {
+			t.Fatalf("Extend: %v", err)
+		}
+		if pn != uint32(i) {
+			t.Fatalf("Extend returned page %d, want %d", pn, i)
+		}
+	}
+	buf := make([]byte, PageSize)
+	fill(buf, 0xAB)
+	if err := m.WritePage(rel, 3, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := m.ReadPage(rel, 3, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("read back wrong contents")
+	}
+	// Unwritten page reads zero.
+	if err := m.ReadPage(rel, 4, got); err != nil {
+		t.Fatalf("ReadPage(4): %v", err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	if err := m.ReadPage(rel, 9, got); err != ErrNoPage {
+		t.Fatalf("out-of-range read: %v", err)
+	}
+	if err := m.ReadPage(999, 0, got); err != ErrNoRelation {
+		t.Fatalf("missing relation read: %v", err)
+	}
+	if err := m.Drop(rel); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if _, err := m.NPages(rel); err != ErrNoRelation {
+		t.Fatalf("NPages after drop: %v", err)
+	}
+}
+
+func TestMemManager(t *testing.T) {
+	testManagerBasics(t, NewMem(nil, 0))
+}
+
+func TestDiskManager(t *testing.T) {
+	testManagerBasics(t, NewDisk(nil, 0))
+}
+
+func TestJukeboxManager(t *testing.T) {
+	testManagerBasics(t, NewJukebox(DefaultJukebox(), nil))
+}
+
+func TestDiskExtentLayoutSequential(t *testing.T) {
+	clock := iosim.NewClock()
+	d := NewDisk(iosim.NewDisk(iosim.RZ58(), clock), 16)
+	const rel OID = 5
+	if err := d.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 16; i++ {
+		if _, err := d.Extend(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Reset()
+	for i := 0; i < 16; i++ {
+		if err := d.WritePage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := clock.Now()
+	clock.Reset()
+	for i := 15; i >= 0; i-- {
+		if err := d.WritePage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rev := clock.Now()
+	if seq >= rev {
+		t.Fatalf("sequential writes (%v) not cheaper than reverse (%v)", seq, rev)
+	}
+}
+
+func TestJukeboxCacheAvoidsPlatterLoads(t *testing.T) {
+	clock := iosim.NewClock()
+	p := DefaultJukebox()
+	p.CachePages = 8
+	j := NewJukebox(p, clock)
+	const rel OID = 7
+	if err := j.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 4; i++ {
+		if _, err := j.Extend(rel); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.WritePage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All four pages fit in the staging cache: reads must not load a
+	// platter.
+	loadsBefore := j.PlatterLoads()
+	for i := 0; i < 4; i++ {
+		if err := j.ReadPage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.PlatterLoads() != loadsBefore {
+		t.Fatal("cached reads loaded a platter")
+	}
+	// Force them out to the platter and drop the cache by filling it
+	// with other pages.
+	if err := j.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 14; i++ {
+		if _, err := j.Extend(rel); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.WritePage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := clock.Now()
+	if err := j.ReadPage(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if cost := clock.Now() - before; cost < p.AccessLatency {
+		t.Fatalf("platter read cost only %v", cost)
+	}
+}
+
+func TestJukeboxSyncBurnsAndPreserves(t *testing.T) {
+	j := NewJukebox(DefaultJukebox(), nil)
+	const rel OID = 9
+	if err := j.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Extend(rel); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	fill(buf, 0x5A)
+	if err := j.WritePage(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewriting a burned page must succeed (remap) and preserve the new
+	// contents.
+	fill(buf, 0x77)
+	if err := j.WritePage(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := j.ReadPage(rel, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x77 {
+		t.Fatal("rewrite lost")
+	}
+}
+
+func TestSwitchPlacementAndRouting(t *testing.T) {
+	s := NewSwitch()
+	mem := NewMem(nil, time.Microsecond)
+	dsk := NewDisk(nil, 0)
+	s.Register(dsk)
+	s.Register(mem)
+	if err := s.SetDefault("disk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(2, "mem"); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s.HomeClass(1); c != "disk" {
+		t.Fatalf("oid 1 on %q", c)
+	}
+	if c, _ := s.HomeClass(2); c != "mem" {
+		t.Fatalf("oid 2 on %q", c)
+	}
+	if err := s.Place(3, "tape"); err == nil {
+		t.Fatal("placed on unknown class")
+	}
+	// I/O routes transparently.
+	if _, err := s.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	fill(buf, 1)
+	if err := s.WritePage(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := s.ReadPage(1, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("routed read wrong")
+	}
+}
+
+func TestSwitchMigrate(t *testing.T) {
+	s := NewSwitch()
+	dsk := NewDisk(nil, 0)
+	jb := NewJukebox(DefaultJukebox(), nil)
+	s.Register(dsk)
+	s.Register(jb)
+	const rel OID = 11
+	if err := s.Place(rel, "disk"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Extend(rel); err != nil {
+			t.Fatal(err)
+		}
+		fill(buf, byte(i+1))
+		if err := s.WritePage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Migrate(rel, "jukebox"); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if c, _ := s.HomeClass(rel); c != "jukebox" {
+		t.Fatalf("after migrate on %q", c)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.ReadPage(rel, uint32(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d contents lost in migration", i)
+		}
+	}
+	// Source no longer has it.
+	if _, err := dsk.NPages(rel); err != ErrNoRelation {
+		t.Fatal("source still holds relation after migrate")
+	}
+}

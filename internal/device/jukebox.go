@@ -1,0 +1,292 @@
+package device
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+// JukeboxParams configures the simulated Sony WORM optical jukebox.
+// The paper: "Due to extremely high setup costs (many seconds to load an
+// optical platter) and relatively low transfer rates, using the jukebox
+// directly for every transfer would be very slow. Instead, the Sony
+// jukebox device manager caches recently-used blocks on magnetic disk.
+// The size of this cache is tunable, and defaults to 10 MBytes."
+type JukeboxParams struct {
+	PlatterLoad   time.Duration // robot arm + spin-up to swap platters
+	AccessLatency time.Duration // per-transfer settle on a loaded platter
+	TransferRate  float64       // optical read/write bytes per second
+	PlatterPages  int64         // capacity of one platter side, in pages
+	CachePages    int           // magnetic-disk staging cache capacity
+	CacheDisk     iosim.DiskParams
+}
+
+// DefaultJukebox returns parameters approximating the 327 GB Sony WORM
+// jukebox in the Berkeley installation.
+func DefaultJukebox() JukeboxParams {
+	return JukeboxParams{
+		PlatterLoad:   8 * time.Second,
+		AccessLatency: 120 * time.Millisecond,
+		TransferRate:  400e3,
+		PlatterPages:  400_000, // ~3.2 GB per side
+		CachePages:    10 << 20 / PageSize,
+		CacheDisk:     iosim.RZ58(),
+	}
+}
+
+// jbPage is the stable state of one logical page.
+type jbPage struct {
+	data   []byte // authoritative contents
+	burned bool   // true once written to the platter at addr
+	plat   int    // platter index
+	addr   int64  // page address within the platter
+}
+
+type jbRel struct {
+	plat  int
+	pages []*jbPage
+}
+
+type jbCacheKey struct {
+	rel  OID
+	page uint32
+}
+
+// Jukebox is the write-once optical jukebox device manager. Logical
+// pages are write-many: rewriting a burned page allocates a fresh
+// platter address, the cached-WORM remapping strategy of Quinlan's
+// Plan 9 file server, which the paper cites. Recently used pages are
+// staged on a simulated magnetic disk cache so repeated access does not
+// pay platter loads.
+type Jukebox struct {
+	mu        sync.Mutex
+	params    JukeboxParams
+	clock     *iosim.Clock
+	cacheDisk *iosim.Disk
+	rels      map[OID]*jbRel
+	loaded    int // currently loaded platter, -1 if none
+	platUsed  []int64
+	cache     map[jbCacheKey]*list.Element
+	lru       *list.List // of jbCacheKey, front = most recent
+	loads     int64
+}
+
+// NewJukebox returns a jukebox manager charging costs to clock.
+func NewJukebox(p JukeboxParams, clock *iosim.Clock) *Jukebox {
+	if p.PlatterPages <= 0 {
+		p.PlatterPages = DefaultJukebox().PlatterPages
+	}
+	if p.CachePages <= 0 {
+		p.CachePages = DefaultJukebox().CachePages
+	}
+	return &Jukebox{
+		params:    p,
+		clock:     clock,
+		cacheDisk: iosim.NewDisk(p.CacheDisk, clock),
+		rels:      make(map[OID]*jbRel),
+		loaded:    -1,
+		platUsed:  []int64{0},
+		cache:     make(map[jbCacheKey]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// Class reports "jukebox".
+func (j *Jukebox) Class() string { return "jukebox" }
+
+// Create registers a new relation, assigning it to the platter with the
+// most free space (first platter that fits an extent, extending the
+// jukebox with new platters as needed).
+func (j *Jukebox) Create(rel OID) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.rels[rel]; ok {
+		return nil
+	}
+	j.rels[rel] = &jbRel{plat: j.pickPlatter()}
+	return nil
+}
+
+func (j *Jukebox) pickPlatter() int {
+	for i, used := range j.platUsed {
+		if used < j.params.PlatterPages {
+			return i
+		}
+	}
+	j.platUsed = append(j.platUsed, 0)
+	return len(j.platUsed) - 1
+}
+
+// Drop removes a relation. WORM space is not reclaimed.
+func (j *Jukebox) Drop(rel OID) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.rels[rel]
+	if !ok {
+		return ErrNoRelation
+	}
+	for p := range r.pages {
+		if el, ok := j.cache[jbCacheKey{rel, uint32(p)}]; ok {
+			j.lru.Remove(el)
+			delete(j.cache, jbCacheKey{rel, uint32(p)})
+		}
+	}
+	delete(j.rels, rel)
+	return nil
+}
+
+// NPages reports the relation's page count.
+func (j *Jukebox) NPages(rel OID) (uint32, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.rels[rel]
+	if !ok {
+		return 0, ErrNoRelation
+	}
+	return uint32(len(r.pages)), nil
+}
+
+// Extend appends a zeroed, not-yet-burned page.
+func (j *Jukebox) Extend(rel OID) (uint32, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.rels[rel]
+	if !ok {
+		return 0, ErrNoRelation
+	}
+	pg := &jbPage{data: make([]byte, PageSize), plat: r.plat}
+	r.pages = append(r.pages, pg)
+	return uint32(len(r.pages) - 1), nil
+}
+
+// touchCache records (rel,page) as cached, evicting LRU entries beyond
+// capacity. Evicting a dirty (unburned-since-write) page burns it.
+func (j *Jukebox) touchCache(rel OID, page uint32) {
+	key := jbCacheKey{rel, page}
+	if el, ok := j.cache[key]; ok {
+		j.lru.MoveToFront(el)
+		return
+	}
+	j.cache[key] = j.lru.PushFront(key)
+	for j.lru.Len() > j.params.CachePages {
+		back := j.lru.Back()
+		victim := back.Value.(jbCacheKey)
+		j.lru.Remove(back)
+		delete(j.cache, victim)
+		j.burn(victim)
+	}
+}
+
+// burn writes the page's current contents to a fresh platter address,
+// charging platter mechanics.
+func (j *Jukebox) burn(key jbCacheKey) {
+	r, ok := j.rels[key.rel]
+	if !ok || int(key.page) >= len(r.pages) {
+		return
+	}
+	pg := r.pages[key.page]
+	j.chargePlatter(pg.plat)
+	pg.addr = j.platUsed[pg.plat]
+	j.platUsed[pg.plat]++
+	pg.burned = true
+}
+
+// chargePlatter charges a platter load if needed plus one access.
+func (j *Jukebox) chargePlatter(plat int) {
+	if j.loaded != plat {
+		j.clock.Advance(j.params.PlatterLoad)
+		j.loaded = plat
+		j.loads++
+	}
+	cost := j.params.AccessLatency
+	if j.params.TransferRate > 0 {
+		cost += time.Duration(float64(PageSize) / j.params.TransferRate * float64(time.Second))
+	}
+	j.clock.Advance(cost)
+}
+
+// ReadPage copies a page into buf. Cache hits pay magnetic disk costs;
+// misses pay platter mechanics and populate the cache.
+func (j *Jukebox) ReadPage(rel OID, page uint32, buf []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.rels[rel]
+	if !ok {
+		return ErrNoRelation
+	}
+	if int(page) >= len(r.pages) {
+		return ErrNoPage
+	}
+	pg := r.pages[page]
+	if _, hit := j.cache[jbCacheKey{rel, page}]; hit || !pg.burned {
+		j.cacheDisk.Access(int64(page), PageSize)
+	} else {
+		j.chargePlatter(pg.plat)
+	}
+	j.touchCache(rel, page)
+	copy(buf, pg.data)
+	return nil
+}
+
+// WritePage stores buf into a page. Writes land in the staging cache
+// (magnetic disk cost) and are burned to the platter on eviction or
+// Sync. Rewriting an already-burned page remaps it to a new address.
+func (j *Jukebox) WritePage(rel OID, page uint32, buf []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.rels[rel]
+	if !ok {
+		return ErrNoRelation
+	}
+	if int(page) >= len(r.pages) {
+		return ErrNoPage
+	}
+	pg := r.pages[page]
+	copy(pg.data, buf)
+	pg.burned = false // contents superseded; must burn to a new address
+	j.cacheDisk.Access(int64(page), PageSize)
+	j.touchCache(rel, page)
+	return nil
+}
+
+// Sync is a no-op: the staging cache lives on non-volatile magnetic
+// disk, so cached-but-unburned pages are already stable. Pages reach
+// the platter when evicted from the cache, or on an explicit Drain.
+func (j *Jukebox) Sync() error { return nil }
+
+// Drain burns every cached-but-unburned page to its platter (used when
+// retiring the staging disk, and by tests).
+func (j *Jukebox) Drain() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for el := j.lru.Back(); el != nil; el = el.Prev() {
+		key := el.Value.(jbCacheKey)
+		if r, ok := j.rels[key.rel]; ok && int(key.page) < len(r.pages) && !r.pages[key.page].burned {
+			j.burn(key)
+		}
+	}
+	return nil
+}
+
+// DropCache empties the staging cache without burning anything; pages
+// not yet burned would be lost, so it drains first. Benchmarks use it
+// to measure truly cold platter reads.
+func (j *Jukebox) DropCache() error {
+	if err := j.Drain(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cache = make(map[jbCacheKey]*list.Element)
+	j.lru.Init()
+	return nil
+}
+
+// PlatterLoads reports how many platter swaps the robot performed.
+func (j *Jukebox) PlatterLoads() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.loads
+}

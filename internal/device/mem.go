@@ -1,0 +1,106 @@
+package device
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+// Mem is the non-volatile RAM device manager. POSTGRES 4.0.1 shipped an
+// NVRAM device manager operating on a raw device; here it is a map of
+// pages with a small fixed access cost charged to the virtual clock.
+type Mem struct {
+	mu      sync.Mutex
+	clock   *iosim.Clock
+	latency time.Duration
+	rels    map[OID][][]byte
+}
+
+// NewMem returns an NVRAM device manager. clock may be nil to disable
+// cost accounting; latency is charged per page access.
+func NewMem(clock *iosim.Clock, latency time.Duration) *Mem {
+	return &Mem{clock: clock, latency: latency, rels: make(map[OID][][]byte)}
+}
+
+// Class reports "mem".
+func (m *Mem) Class() string { return "mem" }
+
+// Create registers a new empty relation.
+func (m *Mem) Create(rel OID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rels[rel]; !ok {
+		m.rels[rel] = nil
+	}
+	return nil
+}
+
+// Drop removes a relation.
+func (m *Mem) Drop(rel OID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rels[rel]; !ok {
+		return ErrNoRelation
+	}
+	delete(m.rels, rel)
+	return nil
+}
+
+// NPages reports the relation's page count.
+func (m *Mem) NPages(rel OID) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages, ok := m.rels[rel]
+	if !ok {
+		return 0, ErrNoRelation
+	}
+	return uint32(len(pages)), nil
+}
+
+// Extend appends a zeroed page.
+func (m *Mem) Extend(rel OID) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages, ok := m.rels[rel]
+	if !ok {
+		return 0, ErrNoRelation
+	}
+	m.rels[rel] = append(pages, make([]byte, PageSize))
+	return uint32(len(pages)), nil
+}
+
+// ReadPage copies a page into buf.
+func (m *Mem) ReadPage(rel OID, page uint32, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages, ok := m.rels[rel]
+	if !ok {
+		return ErrNoRelation
+	}
+	if int(page) >= len(pages) {
+		return ErrNoPage
+	}
+	copy(buf, pages[page])
+	m.clock.Advance(m.latency)
+	return nil
+}
+
+// WritePage stores buf into a page.
+func (m *Mem) WritePage(rel OID, page uint32, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages, ok := m.rels[rel]
+	if !ok {
+		return ErrNoRelation
+	}
+	if int(page) >= len(pages) {
+		return ErrNoPage
+	}
+	copy(pages[page], buf)
+	m.clock.Advance(m.latency)
+	return nil
+}
+
+// Sync is a no-op: NVRAM is already stable.
+func (m *Mem) Sync() error { return nil }

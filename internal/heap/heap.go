@@ -1,0 +1,317 @@
+// Package heap implements the no-overwrite heap storage manager. When a
+// record is updated or deleted, the original record is marked invalid
+// (its xmax is stamped) but remains in place; updates append a new
+// record. Combined with the transaction status file this yields MVCC
+// reads, fine-grained time travel, and crash recovery with no log
+// processing [STON87].
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/device"
+	"repro/internal/page"
+	"repro/internal/txn"
+)
+
+// Record header stored in front of every payload on a page:
+//
+//	0..3  xmin — inserting transaction
+//	4..7  xmax — deleting transaction (0 while live)
+//	8..9  flags (reserved)
+//	10..11 pad
+const recordHeader = 12
+
+// MaxPayload is the largest record payload a page can hold.
+const MaxPayload = page.MaxItem - recordHeader
+
+// Errors returned by the heap layer.
+var (
+	ErrNotVisible   = errors.New("heap: record not visible to snapshot")
+	ErrNoRecord     = errors.New("heap: no such record")
+	ErrTooLarge     = errors.New("heap: record payload exceeds page capacity")
+	ErrWriteClash   = errors.New("heap: record already deleted by a committed transaction")
+	ErrReadOnlySnap = errors.New("heap: snapshot is read-only")
+)
+
+// TID addresses a record: page number plus slot within the page.
+type TID struct {
+	Page uint32
+	Slot uint16
+}
+
+// Pack encodes the TID into a uint64 (for storage in index entries).
+func (t TID) Pack() uint64 { return uint64(t.Page)<<16 | uint64(t.Slot) }
+
+// UnpackTID decodes a TID packed with Pack.
+func UnpackTID(v uint64) TID {
+	return TID{Page: uint32(v >> 16), Slot: uint16(v & 0xffff)}
+}
+
+func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Page, t.Slot) }
+
+// Relation is one heap table.
+type Relation struct {
+	OID  device.OID
+	pool *buffer.Pool
+	mgr  *txn.Manager
+
+	mu         sync.Mutex
+	insertHint uint32 // page that last accepted an insert
+	haveHint   bool
+}
+
+// Open returns a handle on relation oid. The relation must already be
+// placed on a device.
+func Open(oid device.OID, pool *buffer.Pool, mgr *txn.Manager) *Relation {
+	return &Relation{OID: oid, pool: pool, mgr: mgr}
+}
+
+// NPages reports the relation's current page count.
+func (r *Relation) NPages() (uint32, error) { return r.pool.NPages(r.OID) }
+
+// Insert appends a record stamped with inserting transaction x and
+// returns its TID.
+func (r *Relation) Insert(x txn.XID, payload []byte) (TID, error) {
+	if len(payload) > MaxPayload {
+		return TID{}, ErrTooLarge
+	}
+	item := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(item[0:], uint32(x))
+	copy(item[recordHeader:], payload)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Try the hinted page, then the last page, then extend.
+	n, err := r.pool.NPages(r.OID)
+	if err != nil {
+		return TID{}, err
+	}
+	var candidates []uint32
+	if r.haveHint && r.insertHint < n {
+		candidates = append(candidates, r.insertHint)
+	}
+	if n > 0 && (len(candidates) == 0 || candidates[0] != n-1) {
+		candidates = append(candidates, n-1)
+	}
+	for _, pn := range candidates {
+		f, err := r.pool.Get(r.OID, pn)
+		if err != nil {
+			return TID{}, err
+		}
+		f.Lock()
+		if !f.Data.Initialized() {
+			page.Init(f.Data, uint32(r.OID), pn)
+		}
+		slot := f.Data.Insert(item)
+		f.Unlock()
+		r.pool.Release(f, slot >= 0)
+		if slot >= 0 {
+			r.insertHint, r.haveHint = pn, true
+			return TID{Page: pn, Slot: uint16(slot)}, nil
+		}
+	}
+	f, pn, err := r.pool.NewPage(r.OID)
+	if err != nil {
+		return TID{}, err
+	}
+	f.Lock()
+	page.Init(f.Data, uint32(r.OID), pn)
+	slot := f.Data.Insert(item)
+	f.Unlock()
+	r.pool.Release(f, true)
+	if slot < 0 {
+		return TID{}, ErrTooLarge
+	}
+	r.insertHint, r.haveHint = pn, true
+	return TID{Page: pn, Slot: uint16(slot)}, nil
+}
+
+// Delete stamps the record at tid as deleted by x. The record body is
+// untouched — this is the no-overwrite discipline. Deleting a record
+// whose previous deleter aborted re-stamps it; deleting one whose
+// deleter committed (or is a live competitor) reports ErrWriteClash.
+func (r *Relation) Delete(x txn.XID, tid TID) error {
+	f, err := r.pool.Get(r.OID, tid.Page)
+	if err != nil {
+		return err
+	}
+	defer r.pool.Release(f, true)
+	f.Lock()
+	defer f.Unlock()
+	item := f.Data.Item(int(tid.Slot))
+	if item == nil {
+		return ErrNoRecord
+	}
+	oldMax := txn.XID(binary.LittleEndian.Uint32(item[4:]))
+	if oldMax != txn.InvalidXID && oldMax != x {
+		switch r.mgr.StatusOf(oldMax) {
+		case txn.StatusCommitted, txn.StatusInProgress:
+			return ErrWriteClash
+		}
+	}
+	binary.LittleEndian.PutUint32(item[4:], uint32(x))
+	return nil
+}
+
+// Update replaces the record at tid: the old version is stamped deleted
+// by x and a new version is inserted, returning the new TID.
+func (r *Relation) Update(x txn.XID, tid TID, payload []byte) (TID, error) {
+	if err := r.Delete(x, tid); err != nil {
+		return TID{}, err
+	}
+	return r.Insert(x, payload)
+}
+
+// Fetch returns a copy of the record payload at tid if it is visible to
+// snap; otherwise ErrNotVisible (or ErrNoRecord if the slot is dead).
+func (r *Relation) Fetch(snap *txn.Snapshot, tid TID) ([]byte, error) {
+	f, err := r.pool.Get(r.OID, tid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer r.pool.Release(f, false)
+	f.Lock()
+	defer f.Unlock()
+	item := f.Data.Item(int(tid.Slot))
+	if item == nil {
+		return nil, ErrNoRecord
+	}
+	xmin := txn.XID(binary.LittleEndian.Uint32(item[0:]))
+	xmax := txn.XID(binary.LittleEndian.Uint32(item[4:]))
+	if !snap.CanSee(xmin, xmax) {
+		return nil, ErrNotVisible
+	}
+	out := make([]byte, len(item)-recordHeader)
+	copy(out, item[recordHeader:])
+	return out, nil
+}
+
+// Stamps returns the raw xmin/xmax of the record at tid regardless of
+// visibility (vacuum and tests use this).
+func (r *Relation) Stamps(tid TID) (xmin, xmax txn.XID, err error) {
+	f, err := r.pool.Get(r.OID, tid.Page)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.pool.Release(f, false)
+	f.Lock()
+	defer f.Unlock()
+	item := f.Data.Item(int(tid.Slot))
+	if item == nil {
+		return 0, 0, ErrNoRecord
+	}
+	return txn.XID(binary.LittleEndian.Uint32(item[0:])),
+		txn.XID(binary.LittleEndian.Uint32(item[4:])), nil
+}
+
+// Scan calls fn for every record visible to snap, in physical order.
+// fn returns stop=true to end the scan early. The payload passed to fn
+// is a copy the callback may retain.
+func (r *Relation) Scan(snap *txn.Snapshot, fn func(tid TID, payload []byte) (stop bool, err error)) error {
+	n, err := r.pool.NPages(r.OID)
+	if err != nil {
+		return err
+	}
+	for pn := uint32(0); pn < n; pn++ {
+		f, err := r.pool.Get(r.OID, pn)
+		if err != nil {
+			return err
+		}
+		f.Lock()
+		if !f.Data.Initialized() {
+			f.Unlock()
+			r.pool.Release(f, false)
+			continue
+		}
+		type hit struct {
+			tid     TID
+			payload []byte
+		}
+		var hits []hit
+		for s := 0; s < f.Data.NumSlots(); s++ {
+			item := f.Data.Item(s)
+			if item == nil {
+				continue
+			}
+			xmin := txn.XID(binary.LittleEndian.Uint32(item[0:]))
+			xmax := txn.XID(binary.LittleEndian.Uint32(item[4:]))
+			if !snap.CanSee(xmin, xmax) {
+				continue
+			}
+			p := make([]byte, len(item)-recordHeader)
+			copy(p, item[recordHeader:])
+			hits = append(hits, hit{TID{pn, uint16(s)}, p})
+		}
+		f.Unlock()
+		r.pool.Release(f, false)
+		for _, h := range hits {
+			stop, err := fn(h.tid, h.payload)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// ScanAll calls fn for every live slot regardless of visibility,
+// passing the raw stamps. Vacuum uses it.
+func (r *Relation) ScanAll(fn func(tid TID, xmin, xmax txn.XID, payload []byte) (stop bool, err error)) error {
+	n, err := r.pool.NPages(r.OID)
+	if err != nil {
+		return err
+	}
+	for pn := uint32(0); pn < n; pn++ {
+		f, err := r.pool.Get(r.OID, pn)
+		if err != nil {
+			return err
+		}
+		f.Lock()
+		if !f.Data.Initialized() {
+			f.Unlock()
+			r.pool.Release(f, false)
+			continue
+		}
+		type raw struct {
+			tid        TID
+			xmin, xmax txn.XID
+			payload    []byte
+		}
+		var rows []raw
+		for s := 0; s < f.Data.NumSlots(); s++ {
+			item := f.Data.Item(s)
+			if item == nil {
+				continue
+			}
+			p := make([]byte, len(item)-recordHeader)
+			copy(p, item[recordHeader:])
+			rows = append(rows, raw{
+				TID{pn, uint16(s)},
+				txn.XID(binary.LittleEndian.Uint32(item[0:])),
+				txn.XID(binary.LittleEndian.Uint32(item[4:])),
+				p,
+			})
+		}
+		f.Unlock()
+		r.pool.Release(f, false)
+		for _, row := range rows {
+			stop, err := fn(row.tid, row.xmin, row.xmax, row.payload)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+	}
+	return nil
+}

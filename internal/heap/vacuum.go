@@ -1,0 +1,159 @@
+package heap
+
+import (
+	"encoding/binary"
+
+	"repro/internal/txn"
+)
+
+// VacuumMode selects what happens to obsolete records. The paper:
+// "Periodically, obsolete records must be garbage-collected from the
+// database, and either moved elsewhere or physically deleted. … If time
+// travel is desired, the records must be saved forever somewhere."
+type VacuumMode int
+
+// Vacuum modes.
+const (
+	VacuumArchive VacuumMode = iota // move obsolete records to the archive
+	VacuumDiscard                   // physically delete them ("nosave")
+)
+
+// VacuumStats reports what a vacuum pass did.
+type VacuumStats struct {
+	Scanned   int // live slots examined
+	Archived  int // obsolete records moved to the archive
+	Removed   int // slots freed (archived + aborted + discarded)
+	Reclaimed int // bytes recovered by page compaction
+}
+
+// ArchiveHeader is the envelope prepended to archived payloads so a
+// historical reader can reconstruct visibility from commit times alone.
+type ArchiveHeader struct {
+	Rel        uint32 // relation the record came from
+	Xmin, Xmax txn.XID
+	XminTime   int64 // commit time of the inserter
+	XmaxTime   int64 // commit time of the deleter
+}
+
+const archiveHeaderSize = 4 + 4 + 4 + 8 + 8
+
+// EncodeArchive builds an archive record from a header and payload.
+func EncodeArchive(h ArchiveHeader, payload []byte) []byte {
+	out := make([]byte, archiveHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], h.Rel)
+	binary.LittleEndian.PutUint32(out[4:], uint32(h.Xmin))
+	binary.LittleEndian.PutUint32(out[8:], uint32(h.Xmax))
+	binary.LittleEndian.PutUint64(out[12:], uint64(h.XminTime))
+	binary.LittleEndian.PutUint64(out[20:], uint64(h.XmaxTime))
+	copy(out[archiveHeaderSize:], payload)
+	return out
+}
+
+// DecodeArchive splits an archive record into header and payload.
+func DecodeArchive(rec []byte) (ArchiveHeader, []byte, bool) {
+	if len(rec) < archiveHeaderSize {
+		return ArchiveHeader{}, nil, false
+	}
+	h := ArchiveHeader{
+		Rel:      binary.LittleEndian.Uint32(rec[0:]),
+		Xmin:     txn.XID(binary.LittleEndian.Uint32(rec[4:])),
+		Xmax:     txn.XID(binary.LittleEndian.Uint32(rec[8:])),
+		XminTime: int64(binary.LittleEndian.Uint64(rec[12:])),
+		XmaxTime: int64(binary.LittleEndian.Uint64(rec[20:])),
+	}
+	return h, rec[archiveHeaderSize:], true
+}
+
+// Vacuum is the vacuum cleaner: it removes obsolete records from r —
+// records deleted by a transaction that committed before horizon, and
+// records inserted by aborted transactions — compacts the pages it
+// touched, and (in VacuumArchive mode) moves the obsolete-but-committed
+// history into archive under archX. onRemove, if non-nil, is told each
+// TID freed so callers can purge index entries.
+func (r *Relation) Vacuum(horizon txn.XID, mode VacuumMode, archive *Relation, archX txn.XID, onRemove func(tid TID, payload []byte)) (VacuumStats, error) {
+	var stats VacuumStats
+	n, err := r.pool.NPages(r.OID)
+	if err != nil {
+		return stats, err
+	}
+	for pn := uint32(0); pn < n; pn++ {
+		f, err := r.pool.Get(r.OID, pn)
+		if err != nil {
+			return stats, err
+		}
+		f.Lock()
+		if !f.Data.Initialized() {
+			f.Unlock()
+			r.pool.Release(f, false)
+			continue
+		}
+		type victim struct {
+			slot    int
+			xmin    txn.XID
+			xmax    txn.XID
+			payload []byte
+			dead    bool // aborted insert: never archive
+		}
+		var victims []victim
+		for s := 0; s < f.Data.NumSlots(); s++ {
+			item := f.Data.Item(s)
+			if item == nil {
+				continue
+			}
+			stats.Scanned++
+			xmin := txn.XID(binary.LittleEndian.Uint32(item[0:]))
+			xmax := txn.XID(binary.LittleEndian.Uint32(item[4:]))
+			if r.mgr.StatusOf(xmin) == txn.StatusAborted {
+				p := make([]byte, len(item)-recordHeader)
+				copy(p, item[recordHeader:])
+				victims = append(victims, victim{s, xmin, xmax, p, true})
+				continue
+			}
+			if xmax == txn.InvalidXID || xmax >= horizon {
+				continue
+			}
+			switch r.mgr.StatusOf(xmax) {
+			case txn.StatusCommitted:
+				p := make([]byte, len(item)-recordHeader)
+				copy(p, item[recordHeader:])
+				victims = append(victims, victim{s, xmin, xmax, p, false})
+			case txn.StatusAborted:
+				// Deleter aborted: clear the stale xmax stamp.
+				binary.LittleEndian.PutUint32(item[4:], 0)
+			}
+		}
+		dirty := false
+		for _, v := range victims {
+			f.Data.Delete(v.slot)
+			dirty = true
+			stats.Removed++
+		}
+		if dirty {
+			stats.Reclaimed += f.Data.Compact()
+		}
+		f.Unlock()
+		r.pool.Release(f, dirty)
+
+		for _, v := range victims {
+			tid := TID{pn, uint16(v.slot)}
+			if onRemove != nil {
+				onRemove(tid, v.payload)
+			}
+			if v.dead || mode != VacuumArchive || archive == nil {
+				continue
+			}
+			rec := EncodeArchive(ArchiveHeader{
+				Rel:      uint32(r.OID),
+				Xmin:     v.xmin,
+				Xmax:     v.xmax,
+				XminTime: r.mgr.CommitTime(v.xmin),
+				XmaxTime: r.mgr.CommitTime(v.xmax),
+			}, v.payload)
+			if _, err := archive.Insert(archX, rec); err != nil {
+				return stats, err
+			}
+			stats.Archived++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,74 @@
+// Package iosim provides a virtual clock and cost models for the storage
+// devices and networks the paper's evaluation ran on (DEC RZ58 magnetic
+// disk, Sony WORM optical jukebox, 10 Mbit/s Ethernet with TCP/IP).
+//
+// The 1993 hardware is long gone, so the benchmark harness charges every
+// simulated I/O to a virtual clock instead of sleeping. Elapsed virtual
+// time is then comparable in *shape* to the elapsed seconds the paper
+// reports: sequential transfers are cheap, head movement is expensive,
+// platter loads are very expensive, and network messages pay a fixed
+// protocol-processing cost plus a per-byte bandwidth cost.
+package iosim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. Cost models advance it; harnesses read it.
+// A nil *Clock is valid and ignores all advances, so production code can
+// run with timing disabled at zero cost.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a virtual clock starting at zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance moves the clock forward by d. Negative d is ignored.
+func (c *Clock) Advance(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Duration {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// Stopwatch measures an interval of virtual time.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartWatch begins measuring virtual time on c.
+func StartWatch(c *Clock) *Stopwatch {
+	return &Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports virtual time since the watch started.
+func (w *Stopwatch) Elapsed() time.Duration { return w.clock.Now() - w.start }
+
+// Restart resets the interval origin to the current virtual time.
+func (w *Stopwatch) Restart() { w.start = w.clock.Now() }

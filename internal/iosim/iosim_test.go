@@ -1,0 +1,114 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if got := c.Now(); got != 1500*time.Millisecond {
+		t.Fatalf("Now = %v", got)
+	}
+	c.Advance(-time.Hour)
+	if got := c.Now(); got != 1500*time.Millisecond {
+		t.Fatalf("negative advance changed clock: %v", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not zero clock")
+	}
+}
+
+func TestNilClockSafe(t *testing.T) {
+	var c *Clock
+	c.Advance(time.Second) // must not panic
+	if c.Now() != 0 {
+		t.Fatal("nil clock nonzero")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock()
+	w := StartWatch(c)
+	c.Advance(3 * time.Second)
+	if w.Elapsed() != 3*time.Second {
+		t.Fatalf("Elapsed = %v", w.Elapsed())
+	}
+	w.Restart()
+	if w.Elapsed() != 0 {
+		t.Fatalf("Elapsed after restart = %v", w.Elapsed())
+	}
+}
+
+func TestDiskSequentialCheaperThanRandom(t *testing.T) {
+	p := RZ58()
+
+	seq := NewClock()
+	d := NewDisk(p, seq)
+	for b := int64(0); b < 100; b++ {
+		d.Access(b, 8192)
+	}
+
+	rnd := NewClock()
+	d2 := NewDisk(p, rnd)
+	for b := int64(0); b < 100; b++ {
+		d2.Access(b*1000, 8192)
+	}
+
+	if seq.Now()*2 >= rnd.Now() {
+		t.Fatalf("sequential (%v) not much cheaper than random (%v)", seq.Now(), rnd.Now())
+	}
+	if d.Seeks() >= d2.Seeks() {
+		t.Fatalf("seek counts: seq %d, rnd %d", d.Seeks(), d2.Seeks())
+	}
+}
+
+func TestDiskTrackSeekCheaperThanFullSeek(t *testing.T) {
+	p := RZ58()
+	near := NewClock()
+	d := NewDisk(p, near)
+	d.Access(0, 8192)
+	d.Access(3, 8192) // within TrackBlocks
+
+	far := NewClock()
+	d2 := NewDisk(p, far)
+	d2.Access(0, 8192)
+	d2.Access(100000, 8192)
+
+	if near.Now() >= far.Now() {
+		t.Fatalf("near seek (%v) not cheaper than far seek (%v)", near.Now(), far.Now())
+	}
+}
+
+func TestDiskNilClock(t *testing.T) {
+	d := NewDisk(RZ58(), nil)
+	d.Access(0, 8192) // must not panic
+	if d.Transfers() != 0 {
+		t.Fatal("nil-clock disk counted transfers")
+	}
+}
+
+func TestNetworkCosts(t *testing.T) {
+	c := NewClock()
+	n := NewNetwork(Ethernet10(2*time.Millisecond), c)
+	n.RoundTrip(100, 100)
+	small := c.Now()
+	n.RoundTrip(1<<20, 0)
+	big := c.Now() - small
+	if small >= big {
+		t.Fatalf("small message (%v) not cheaper than 1MB transfer (%v)", small, big)
+	}
+	// 1 MB at 1.25 MB/s is ~0.84 s.
+	if big < 700*time.Millisecond || big > time.Second {
+		t.Fatalf("1MB transfer cost %v, want ~0.84s", big)
+	}
+	if n.Messages() != 2 {
+		t.Fatalf("Messages = %d", n.Messages())
+	}
+}

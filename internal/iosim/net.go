@@ -1,0 +1,49 @@
+package iosim
+
+import "time"
+
+// NetParams models a client/server network path. The paper's testbed was
+// a 10 Mbit/s Ethernet between a DECstation 3100 client and a DECsystem
+// 5900 server; it blames Inversion's "relatively heavy-weight network
+// communication protocol, which is based on TCP/IP" for much of the
+// client/server gap, so the per-message cost is the interesting knob.
+type NetParams struct {
+	PerMessage time.Duration // protocol processing per request/response pair
+	Bandwidth  float64       // bytes per second on the wire
+}
+
+// Ethernet10 returns parameters approximating the paper's 10 Mbit/s
+// Ethernet with 1993-era TCP/IP protocol stacks on both ends.
+func Ethernet10(perMessage time.Duration) NetParams {
+	return NetParams{PerMessage: perMessage, Bandwidth: 10e6 / 8}
+}
+
+// Network charges message costs against a virtual clock.
+type Network struct {
+	Params NetParams
+	Clock  *Clock
+	msgs   int64
+}
+
+// NewNetwork returns a network model charging to clock. A nil clock
+// disables cost accounting (the "single process" configuration).
+func NewNetwork(p NetParams, clock *Clock) *Network {
+	return &Network{Params: p, Clock: clock}
+}
+
+// RoundTrip charges one request/response exchange carrying the given
+// request and response payload sizes.
+func (n *Network) RoundTrip(reqBytes, respBytes int) {
+	if n == nil || n.Clock == nil {
+		return
+	}
+	cost := n.Params.PerMessage
+	if n.Params.Bandwidth > 0 {
+		cost += time.Duration(float64(reqBytes+respBytes) / n.Params.Bandwidth * float64(time.Second))
+	}
+	n.msgs++
+	n.Clock.Advance(cost)
+}
+
+// Messages reports the number of round trips charged.
+func (n *Network) Messages() int64 { return n.msgs }

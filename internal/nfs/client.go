@@ -1,0 +1,81 @@
+package nfs
+
+import "repro/internal/iosim"
+
+// rpcHeader approximates the RPC/XDR framing bytes on the wire per
+// request/response pair.
+const rpcHeader = 160
+
+// Client drives the NFS server across the simulated network, splitting
+// byte-stream operations into block-sized RPCs (NFS v2's 8 KB transfer
+// limit).
+type Client struct {
+	srv *Server
+	net *iosim.Network
+}
+
+// NewClient returns a client of srv over net (nil net = local, free
+// transport — used by the local-filesystem comparison [STON93]).
+func NewClient(srv *Server, net *iosim.Network) *Client {
+	return &Client{srv: srv, net: net}
+}
+
+// Create creates (or truncates) a remote file.
+func (c *Client) Create(name string) error {
+	c.net.RoundTrip(rpcHeader+len(name), rpcHeader)
+	return c.srv.Create(name)
+}
+
+// WriteAt writes data at a byte offset, one block-sized RPC at a time.
+func (c *Client) WriteAt(name string, data []byte, off int64) error {
+	total := int64(len(data))
+	done := int64(0)
+	for done < total {
+		pos := off + done
+		span := BlockSize - pos%BlockSize
+		if span > total-done {
+			span = total - done
+		}
+		c.net.RoundTrip(rpcHeader+int(span), rpcHeader)
+		if err := c.srv.Write(name, pos, data[done:done+span]); err != nil {
+			return err
+		}
+		done += span
+	}
+	return nil
+}
+
+// ReadAt reads into buf at a byte offset, one block-sized RPC at a
+// time.
+func (c *Client) ReadAt(name string, buf []byte, off int64) error {
+	total := int64(len(buf))
+	done := int64(0)
+	for done < total {
+		pos := off + done
+		span := BlockSize - pos%BlockSize
+		if span > total-done {
+			span = total - done
+		}
+		c.net.RoundTrip(rpcHeader, rpcHeader+int(span))
+		got, err := c.srv.Read(name, pos, int(span))
+		if err != nil {
+			return err
+		}
+		copy(buf[done:], got)
+		done += span
+	}
+	return nil
+}
+
+// Commit flushes metadata at the end of a burst (close-to-open
+// consistency).
+func (c *Client) Commit(name string) error {
+	c.net.RoundTrip(rpcHeader, rpcHeader)
+	return c.srv.Commit(name)
+}
+
+// Size fetches a file's size.
+func (c *Client) Size(name string) (int64, error) {
+	c.net.RoundTrip(rpcHeader, rpcHeader+16)
+	return c.srv.Size(name)
+}

@@ -1,0 +1,222 @@
+package nfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+func newStack(t *testing.T, presto bool) (*Client, *Server, *iosim.Clock) {
+	t.Helper()
+	clock := iosim.NewClock()
+	store := NewFileStore(iosim.NewDisk(iosim.RZ58(), clock), 1024)
+	var pv *Presto
+	if presto {
+		pv = NewPresto(DefaultPresto(), clock)
+	}
+	srv := NewServer(store, pv)
+	cl := NewClient(srv, iosim.NewNetwork(iosim.Ethernet10(4*time.Millisecond), clock))
+	return cl, srv, clock
+}
+
+func TestRoundTrip(t *testing.T) {
+	cl, _, _ := newStack(t, false)
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*BlockSize+500)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := cl.WriteAt("/f", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := cl.ReadAt("/f", got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+	size, err := cl.Size("/f")
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}
+
+func TestPartialBlockWrites(t *testing.T) {
+	cl, _, _ := newStack(t, false)
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteAt("/f", make([]byte, 2*BlockSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	patch := []byte("spans the boundary")
+	off := int64(BlockSize - 5)
+	if err := cl.WriteAt("/f", patch, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(patch))
+	if err := cl.ReadAt("/f", got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patch) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSyncWritesCostDisk(t *testing.T) {
+	clNo, _, clockNo := newStack(t, false)
+	clPresto, _, clockP := newStack(t, true)
+	data := make([]byte, 64*BlockSize) // 512 KB, fits in 1 MB NVRAM
+
+	if err := clNo.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	clockNo.Reset()
+	if err := clNo.WriteAt("/f", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	noPresto := clockNo.Now()
+
+	if err := clPresto.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	clockP.Reset()
+	if err := clPresto.WriteAt("/f", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	withPresto := clockP.Now()
+
+	if withPresto >= noPresto {
+		t.Fatalf("PRESTOserve did not speed up writes: %v vs %v", withPresto, noPresto)
+	}
+}
+
+func TestPrestoDrainsWhenFull(t *testing.T) {
+	cl, srv, _ := newStack(t, true)
+	if err := cl.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	// 4 MB through a 1 MB board must drain.
+	data := make([]byte, 4<<20)
+	if err := cl.WriteAt("/big", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if srv.PrestoDrains() == 0 {
+		t.Fatal("no drains despite exceeding NVRAM capacity")
+	}
+	// Data still correct after drains.
+	got := make([]byte, 1000)
+	if err := cl.ReadAt("/big", got, 3<<20); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("drained data corrupt")
+		}
+	}
+}
+
+func TestRandomWritesFitNVRAMNoDegradation(t *testing.T) {
+	// The paper's Figure 6: random 1 MB writes show no degradation
+	// under PRESTOserve because nothing is flushed to disk.
+	clSeq, _, clockSeq := newStack(t, true)
+	clRnd, _, clockRnd := newStack(t, true)
+	const mb = 1 << 20
+
+	if err := clSeq.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clSeq.WriteAt("/f", make([]byte, 25*mb), 0); err != nil {
+		t.Fatal(err)
+	}
+	clSeq.srv.FlushCaches()
+	clockSeq.Reset()
+	for i := 0; i < 128; i++ {
+		if err := clSeq.WriteAt("/f", make([]byte, BlockSize), int64(i)*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := clockSeq.Now()
+
+	if err := clRnd.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clRnd.WriteAt("/f", make([]byte, 25*mb), 0); err != nil {
+		t.Fatal(err)
+	}
+	clRnd.srv.FlushCaches()
+	clockRnd.Reset()
+	rng := uint64(7)
+	for i := 0; i < 128; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		block := int64(rng>>33) % (25 * mb / BlockSize)
+		if err := clRnd.WriteAt("/f", make([]byte, BlockSize), block*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rnd := clockRnd.Now()
+
+	ratio := float64(rnd) / float64(seq)
+	if ratio > 1.1 {
+		t.Fatalf("random writes degraded %.2fx despite NVRAM", ratio)
+	}
+}
+
+func TestReadMissesCostMoreThanCacheHits(t *testing.T) {
+	cl, srv, clock := newStack(t, false)
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteAt("/f", make([]byte, 16*BlockSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.FlushCaches()
+	buf := make([]byte, 16*BlockSize)
+	clock.Reset()
+	if err := cl.ReadAt("/f", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cold := clock.Now()
+	clock.Reset()
+	if err := cl.ReadAt("/f", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	warm := clock.Now()
+	if warm >= cold {
+		t.Fatalf("warm read (%v) not cheaper than cold (%v)", warm, cold)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	cl, _, _ := newStack(t, false)
+	if err := cl.WriteAt("/nope", []byte("x"), 0); err != ErrNoFile {
+		t.Fatalf("write missing: %v", err)
+	}
+	if err := cl.ReadAt("/nope", make([]byte, 1), 0); err != ErrNoFile {
+		t.Fatalf("read missing: %v", err)
+	}
+}
+
+func TestHolesReadZero(t *testing.T) {
+	cl, _, _ := newStack(t, false)
+	if err := cl.Create("/h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteAt("/h", []byte("end"), 5*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if err := cl.ReadAt("/h", buf, BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package nfs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/iosim"
+)
+
+// PrestoParams configures the PRESTOserve board: "a board containing
+// 1 MByte of battery-backed RAM and driver software to cache NFS writes
+// in non-volatile memory."
+type PrestoParams struct {
+	Capacity int           // bytes of NVRAM (default 1 MB)
+	Latency  time.Duration // per-block NVRAM acceptance cost
+}
+
+// DefaultPresto returns the board the paper's NFS server used.
+func DefaultPresto() PrestoParams {
+	return PrestoParams{Capacity: 1 << 20, Latency: 300 * time.Microsecond}
+}
+
+type prestoEntry struct {
+	name  string
+	block int64
+}
+
+// Presto is the NVRAM write cache. Writes are acknowledged once they
+// are in NVRAM; blocks drain to disk in the background, which costs the
+// client nothing until the board fills — then each new write must wait
+// for a drain, so sustained writes beyond the capacity run at disk
+// speed while 1 MB bursts are nearly free. That asymmetry is the whole
+// story of the paper's Figure 6.
+type Presto struct {
+	params  PrestoParams
+	clock   *iosim.Clock
+	entries []prestoEntry
+	present map[prestoEntry]bool
+	hits    int64
+	drains  int64
+}
+
+// NewPresto returns an NVRAM cache charging to clock.
+func NewPresto(p PrestoParams, clock *iosim.Clock) *Presto {
+	if p.Capacity <= 0 {
+		p.Capacity = 1 << 20
+	}
+	return &Presto{params: p, clock: clock, present: make(map[prestoEntry]bool)}
+}
+
+func (p *Presto) capacityBlocks() int { return p.params.Capacity / BlockSize }
+
+// Server is the NFS server: a stateless page server over the local
+// file store. Without PRESTOserve every write is forced to disk before
+// the reply ("To guarantee that NFS servers remain stateless, NFS must
+// force every write to stable storage synchronously").
+type Server struct {
+	mu     sync.Mutex
+	store  *FileStore
+	presto *Presto
+}
+
+// NewServer returns a server over store; presto may be nil.
+func NewServer(store *FileStore, presto *Presto) *Server {
+	return &Server{store: store, presto: presto}
+}
+
+// Store exposes the underlying file store (benchmarks flush its cache).
+func (s *Server) Store() *FileStore { return s.store }
+
+// Create handles an NFS CREATE.
+func (s *Server) Create(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Create(name)
+	// Directory + inode updates are synchronous metadata writes.
+	return s.store.SyncMeta(name)
+}
+
+// Write handles an NFS WRITE of up to one block.
+func (s *Server) Write(name string, off int64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bn := off / BlockSize
+	in := off % BlockSize
+	if s.presto == nil {
+		return s.store.WriteBlock(name, bn, int(in), data, true)
+	}
+	// PRESTOserve path: store the block asynchronously, charge NVRAM
+	// acceptance, drain one block per write while over capacity.
+	if err := s.store.WriteBlock(name, bn, int(in), data, false); err != nil {
+		return err
+	}
+	p := s.presto
+	p.clock.Advance(p.params.Latency)
+	e := prestoEntry{name, bn}
+	if !p.present[e] {
+		p.entries = append(p.entries, e)
+		p.present[e] = true
+	} else {
+		p.hits++
+	}
+	for len(p.entries) > p.capacityBlocks() {
+		victim := p.entries[0]
+		p.entries = p.entries[1:]
+		delete(p.present, victim)
+		p.drains++
+		// Draining forces the victim block to disk now.
+		s.store.mu.Lock()
+		if f, ok := s.store.files[victim.name]; ok && victim.block < int64(len(f.blocks)) {
+			s.store.disk.Access(f.blocks[victim.block], BlockSize)
+		}
+		s.store.mu.Unlock()
+	}
+	return nil
+}
+
+// Read handles an NFS READ of up to one block.
+func (s *Server) Read(name string, off int64, n int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, BlockSize)
+	bn := off / BlockSize
+	in := off % BlockSize
+	if s.presto != nil && s.presto.present[prestoEntry{name, bn}] {
+		// Block still in NVRAM: serve without disk access. The store
+		// holds the bytes; charge NVRAM latency only.
+		s.presto.clock.Advance(s.presto.params.Latency)
+		s.store.mu.Lock()
+		f, ok := s.store.files[name]
+		if ok && bn < int64(len(f.data)) && f.data[bn] != nil {
+			copy(buf, f.data[bn])
+		}
+		s.store.mu.Unlock()
+	} else if err := s.store.ReadBlock(name, bn, buf); err != nil {
+		return nil, err
+	}
+	end := in + int64(n)
+	if end > BlockSize {
+		end = BlockSize
+	}
+	return buf[in:end], nil
+}
+
+// Size handles an NFS GETATTR (size only).
+func (s *Server) Size(name string) (int64, error) { return s.store.Size(name) }
+
+// Commit finishes a client-visible burst: metadata reaches disk.
+func (s *Server) Commit(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.SyncMeta(name)
+}
+
+// FlushCaches empties the server buffer cache and drains NVRAM without
+// charging (benchmark setup between runs).
+func (s *Server) FlushCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.FlushCache()
+	if s.presto != nil {
+		s.presto.entries = nil
+		s.presto.present = make(map[prestoEntry]bool)
+	}
+}
+
+// PrestoDrains reports how many blocks were forced out of NVRAM.
+func (s *Server) PrestoDrains() int64 {
+	if s.presto == nil {
+		return 0
+	}
+	return s.presto.drains
+}

@@ -1,0 +1,319 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]value.V
+	Message string // for define statements
+}
+
+// Engine executes POSTQUEL-subset statements against a database.
+type Engine struct {
+	db *core.DB
+}
+
+// New returns an engine over db.
+func New(db *core.DB) *Engine { return &Engine{db: db} }
+
+// errSkipRow filters a file out of the result set: applying a function
+// a file's type does not support simply fails to match ("would find all
+// the files stored by Inversion for which the keywords function was
+// defined, and whose keywords included RISC").
+var errSkipRow = errors.New("query: row filtered")
+
+// Run parses and executes one statement. The session supplies the
+// transaction context for define statements and the default snapshot
+// for retrieves.
+func (e *Engine) Run(s *core.Session, src string) (*Result, error) {
+	st, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *defineTypeStmt:
+		if err := s.DefineType(st.name, st.doc); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("type %q defined", st.name)}, nil
+	case *defineFuncStmt:
+		tx, implicit, err := beginFor(s)
+		if err != nil {
+			return nil, err
+		}
+		err = e.db.Catalog().DefineFunction(tx, catalog.FuncInfo{
+			Name: st.name, TypeName: st.typeName, Lang: "go", Doc: st.doc,
+		})
+		if err2 := finishFor(tx, implicit, err); err2 != nil {
+			return nil, err2
+		}
+		return &Result{Message: fmt.Sprintf("function %q declared (register its implementation in-process)", st.name)}, nil
+	case *retrieveStmt:
+		return e.runRetrieve(st)
+	default:
+		return nil, fmt.Errorf("query: unhandled statement %T", st)
+	}
+}
+
+func beginFor(s *core.Session) (*txn.Tx, bool, error) {
+	tx, err := s.DB().Manager().Begin()
+	if err != nil {
+		return nil, false, err
+	}
+	return tx, true, nil
+}
+
+func finishFor(tx *txn.Tx, implicit bool, err error) error {
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	if implicit {
+		return tx.Commit()
+	}
+	return nil
+}
+
+// fileRow is the joined naming ⋈ fileatt row the evaluator sees.
+type fileRow struct {
+	name   string
+	parent device.OID
+	oid    device.OID
+}
+
+func (e *Engine) runRetrieve(st *retrieveStmt) (*Result, error) {
+	snap := e.db.Manager().CurrentSnapshot()
+	if st.asofSet {
+		snap = e.db.Manager().AsOf(st.asof)
+	}
+	res := &Result{}
+	for _, t := range st.targets {
+		res.Columns = append(res.Columns, t.name)
+	}
+	type sortedRow struct {
+		key value.V
+		row []value.V
+	}
+	var keyed []sortedRow
+	// The range of the query is every file: scan the naming table and
+	// join fileatt through the function layer.
+	err := e.db.ForEachFile(snap, func(name string, parent, oid device.OID) error {
+		row := fileRow{name, parent, oid}
+		if st.where != nil {
+			v, err := e.eval(snap, row, st.where)
+			if errors.Is(err, errSkipRow) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil
+			}
+		}
+		var out []value.V
+		for _, t := range st.targets {
+			v, err := e.eval(snap, row, t.e)
+			if errors.Is(err, errSkipRow) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		if st.sortBy != nil {
+			k, err := e.eval(snap, row, st.sortBy)
+			if errors.Is(err, errSkipRow) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			keyed = append(keyed, sortedRow{k, out})
+			return nil
+		}
+		res.Rows = append(res.Rows, out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.sortBy != nil {
+		sort.SliceStable(keyed, func(i, j int) bool {
+			c := value.Compare(keyed[i].key, keyed[j].key)
+			if st.sortDsc {
+				return c > 0
+			}
+			return c < 0
+		})
+		for _, kr := range keyed {
+			res.Rows = append(res.Rows, kr.row)
+		}
+	}
+	if st.limit > 0 && len(res.Rows) > st.limit {
+		res.Rows = res.Rows[:st.limit]
+	}
+	return res, nil
+}
+
+func (e *Engine) eval(snap *txn.Snapshot, row fileRow, ex expr) (value.V, error) {
+	switch ex := ex.(type) {
+	case numLit:
+		if ex.isFloat {
+			return value.Float(ex.f), nil
+		}
+		return value.Int(ex.i), nil
+	case strLit:
+		return value.Str(ex.s), nil
+	case ident:
+		switch ex.name {
+		case "filename":
+			return value.Str(row.name), nil
+		case "parentid":
+			return value.Int(int64(row.parent)), nil
+		case "file":
+			return value.Int(int64(row.oid)), nil
+		default:
+			return value.Null(), fmt.Errorf("query: unknown attribute %q", ex.name)
+		}
+	case call:
+		if len(ex.args) != 1 {
+			return value.Null(), fmt.Errorf("query: %s takes exactly one argument (file)", ex.fn)
+		}
+		if id, ok := ex.args[0].(ident); !ok || id.name != "file" {
+			return value.Null(), fmt.Errorf("query: %s must be applied to the range variable file", ex.fn)
+		}
+		v, err := e.db.CallFunc(snap, ex.fn, row.oid)
+		if err != nil {
+			// A function the file's type does not support — or a
+			// content function applied to a directory — filters the
+			// row rather than failing the query.
+			if errors.Is(err, core.ErrTypeMismatch) || errors.Is(err, core.ErrIsDirectory) {
+				return value.Null(), errSkipRow
+			}
+			return value.Null(), err
+		}
+		return v, nil
+	case unary:
+		x, err := e.eval(snap, row, ex.x)
+		if err != nil {
+			return value.Null(), err
+		}
+		switch ex.op {
+		case "not":
+			return value.Bool(!x.Truthy()), nil
+		case "-":
+			if f, ok := x.AsFloat(); ok {
+				if x.Kind == value.KindInt {
+					return value.Int(-x.I), nil
+				}
+				return value.Float(-f), nil
+			}
+			return value.Null(), fmt.Errorf("query: cannot negate %v", x)
+		}
+	case binary:
+		// Short-circuit logic first.
+		switch ex.op {
+		case "and":
+			l, err := e.eval(snap, row, ex.l)
+			if err != nil {
+				return value.Null(), err
+			}
+			if !l.Truthy() {
+				return value.Bool(false), nil
+			}
+			r, err := e.eval(snap, row, ex.r)
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Bool(r.Truthy()), nil
+		case "or":
+			l, err := e.eval(snap, row, ex.l)
+			if err != nil {
+				return value.Null(), err
+			}
+			if l.Truthy() {
+				return value.Bool(true), nil
+			}
+			r, err := e.eval(snap, row, ex.r)
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Bool(r.Truthy()), nil
+		}
+		l, err := e.eval(snap, row, ex.l)
+		if err != nil {
+			return value.Null(), err
+		}
+		r, err := e.eval(snap, row, ex.r)
+		if err != nil {
+			return value.Null(), err
+		}
+		switch ex.op {
+		case "=":
+			return value.Bool(value.Equal(l, r)), nil
+		case "!=":
+			return value.Bool(!value.Equal(l, r)), nil
+		case "<":
+			return value.Bool(value.Compare(l, r) < 0), nil
+		case "<=":
+			return value.Bool(value.Compare(l, r) <= 0), nil
+		case ">":
+			return value.Bool(value.Compare(l, r) > 0), nil
+		case ">=":
+			return value.Bool(value.Compare(l, r) >= 0), nil
+		case "in":
+			if l.Kind != value.KindString {
+				return value.Null(), fmt.Errorf("query: left side of in must be a string")
+			}
+			return value.Bool(r.Contains(l.S)), nil
+		case "+", "-", "*", "/":
+			return arith(ex.op, l, r)
+		}
+	}
+	return value.Null(), fmt.Errorf("query: cannot evaluate %T", ex)
+}
+
+func arith(op string, l, r value.V) (value.V, error) {
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return value.Null(), fmt.Errorf("query: arithmetic on non-numeric values %v %s %v", l, op, r)
+	}
+	bothInt := l.Kind == value.KindInt && r.Kind == value.KindInt
+	switch op {
+	case "+":
+		if bothInt {
+			return value.Int(l.I + r.I), nil
+		}
+		return value.Float(lf + rf), nil
+	case "-":
+		if bothInt {
+			return value.Int(l.I - r.I), nil
+		}
+		return value.Float(lf - rf), nil
+	case "*":
+		if bothInt {
+			return value.Int(l.I * r.I), nil
+		}
+		return value.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return value.Null(), fmt.Errorf("query: division by zero")
+		}
+		return value.Float(lf / rf), nil
+	}
+	return value.Null(), fmt.Errorf("query: bad operator %q", op)
+}

@@ -1,0 +1,25 @@
+package query
+
+import "testing"
+
+// FuzzParse: arbitrary statement text must never panic the lexer or
+// parser; it either yields an AST or an error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`retrieve (filename) where owner(file) = "mao"`,
+		`retrieve (snow(file), filename) where snow(file)/size(file) > 0.5`,
+		`define type "x" doc "y"`,
+		`retrieve (filename) sort by size(file) desc limit 3 asof 12345`,
+		`retrieve ((((filename))))`,
+		`retrieve (1 + 2 * -3 / 4 - 5)`,
+		"retrieve (filename) where \"unterminated",
+		`retrieve () where and or not`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = parse(src) // must not panic
+	})
+}

@@ -1,0 +1,151 @@
+// Package query implements a POSTQUEL-subset query language over the
+// file system: "the user may run the query language monitor program to
+// execute arbitrarily complex queries", e.g.
+//
+//	retrieve (filename) where owner(file) = "mao"
+//	    and (filetype(file) = "movie" or filetype(file) = "sound")
+//	    and dir(file) = "/users/mao"
+//
+//	retrieve (snow(file), filename) where filetype(file) = "tm"
+//	    and snow(file)/size(file) > 0.5 and month_of(file) = "April"
+//
+// plus "define type" and "define function" declarations and an asof
+// clause for historical queries (time travel applies to queries too,
+// since the metadata tables are versioned like everything else).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokOp // punctuation and operators
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"retrieve": true, "where": true, "and": true, "or": true, "not": true,
+	"in": true, "asof": true, "define": true, "type": true, "function": true,
+	"for": true, "doc": true, "as": true, "sort": true, "by": true,
+	"limit": true, "desc": true, "asc": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("query: unterminated string at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	if keywords[strings.ToLower(word)] {
+		l.toks = append(l.toks, token{tokKeyword, strings.ToLower(word), start})
+	} else {
+		l.toks = append(l.toks, token{tokIdent, word, start})
+	}
+}
+
+var twoCharOps = map[string]bool{"<=": true, ">=": true, "!=": true}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) && twoCharOps[l.src[l.pos:l.pos+2]] {
+		l.toks = append(l.toks, token{tokOp, l.src[l.pos : l.pos+2], start})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/':
+		l.toks = append(l.toks, token{tokOp, string(c), start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("query: unexpected character %q at %d", c, start)
+	}
+}

@@ -1,0 +1,443 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AST node kinds.
+
+type expr interface{ exprNode() }
+
+type numLit struct {
+	isFloat bool
+	i       int64
+	f       float64
+}
+
+type strLit struct{ s string }
+
+// ident is a bare attribute reference like filename.
+type ident struct{ name string }
+
+// call is a function application like snow(file).
+type call struct {
+	fn   string
+	args []expr
+}
+
+type unary struct {
+	op string // "-" or "not"
+	x  expr
+}
+
+type binary struct {
+	op   string // = != < <= > >= + - * / and or in
+	l, r expr
+}
+
+func (numLit) exprNode() {}
+func (strLit) exprNode() {}
+func (ident) exprNode()  {}
+func (call) exprNode()   {}
+func (unary) exprNode()  {}
+func (binary) exprNode() {}
+
+// Statement forms.
+
+type retrieveStmt struct {
+	targets []target
+	where   expr // nil = all
+	sortBy  expr // nil = unsorted
+	sortDsc bool
+	limit   int // 0 = unlimited
+	asof    int64
+	asofSet bool
+}
+
+type target struct {
+	e    expr
+	name string // display column name
+}
+
+type defineTypeStmt struct {
+	name string
+	doc  string
+}
+
+type defineFuncStmt struct {
+	name     string
+	typeName string
+	doc      string
+}
+
+type stmt interface{ stmtNode() }
+
+func (*retrieveStmt) stmtNode()   {}
+func (*defineTypeStmt) stmtNode() {}
+func (*defineFuncStmt) stmtNode() {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("query: trailing input at %q", p.cur().text)
+	}
+	return s, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, fmt.Errorf("query: expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "retrieve"):
+		return p.parseRetrieve()
+	case p.accept(tokKeyword, "define"):
+		return p.parseDefine()
+	default:
+		return nil, fmt.Errorf("query: expected retrieve or define, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseRetrieve() (stmt, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	var targets []target
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		name := exprName(e)
+		if p.accept(tokKeyword, "as") {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			name = t.text
+		}
+		targets = append(targets, target{e, name})
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	st := &retrieveStmt{targets: targets}
+	if p.accept(tokKeyword, "where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	if p.accept(tokKeyword, "sort") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		k, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.sortBy = k
+		if p.accept(tokKeyword, "desc") {
+			st.sortDsc = true
+		} else {
+			p.accept(tokKeyword, "asc")
+		}
+	}
+	if p.accept(tokKeyword, "limit") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("query: bad limit %q", t.text)
+		}
+		st.limit = n
+	}
+	if p.accept(tokKeyword, "asof") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad asof timestamp %q", t.text)
+		}
+		st.asof, st.asofSet = v, true
+	}
+	return st, nil
+}
+
+func (p *parser) parseDefine() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "type"):
+		name, err := p.nameToken()
+		if err != nil {
+			return nil, err
+		}
+		st := &defineTypeStmt{name: name}
+		if p.accept(tokKeyword, "doc") {
+			d, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			st.doc = d.text
+		}
+		return st, nil
+	case p.accept(tokKeyword, "function"):
+		name, err := p.nameToken()
+		if err != nil {
+			return nil, err
+		}
+		st := &defineFuncStmt{name: name}
+		if p.accept(tokKeyword, "for") {
+			tn, err := p.nameToken()
+			if err != nil {
+				return nil, err
+			}
+			st.typeName = tn
+		}
+		if p.accept(tokKeyword, "doc") {
+			d, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			st.doc = d.text
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("query: expected type or function after define, found %q", p.cur().text)
+	}
+}
+
+// nameToken accepts either an identifier or a quoted string (type names
+// like "ASCII document" contain spaces).
+func (p *parser) nameToken() (string, error) {
+	if p.at(tokIdent, "") || p.at(tokString, "") {
+		return p.next().text, nil
+	}
+	return "", fmt.Errorf("query: expected name, found %q", p.cur().text)
+}
+
+// Expression grammar, standard precedence climbing.
+
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{"or", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{"and", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr, error) {
+	if p.accept(tokKeyword, "not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return unary{"not", x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokOp, "="), p.at(tokOp, "!="), p.at(tokOp, "<"),
+			p.at(tokOp, "<="), p.at(tokOp, ">"), p.at(tokOp, ">="):
+			op := p.next().text
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = binary{op, l, r}
+		case p.accept(tokKeyword, "in"):
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = binary{"in", l, r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdd() (expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.accept(tokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unary{"-", x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return numLit{i: i}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad number %q", t.text)
+		}
+		return numLit{isFloat: true, f: f}, nil
+	case tokString:
+		p.next()
+		return strLit{t.text}, nil
+	case tokIdent:
+		p.next()
+		if p.accept(tokOp, "(") {
+			var args []expr
+			if !p.at(tokOp, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tokOp, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return call{t.text, args}, nil
+		}
+		return ident{t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("query: unexpected token %q", t.text)
+}
+
+// exprName derives a display column name for a target expression.
+func exprName(e expr) string {
+	switch v := e.(type) {
+	case ident:
+		return v.name
+	case call:
+		return v.fn
+	case strLit:
+		return "const"
+	case numLit:
+		return "const"
+	default:
+		return "expr"
+	}
+}

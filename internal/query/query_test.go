@@ -1,0 +1,306 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/satgen"
+	"repro/internal/typefuncs"
+	"repro/internal/value"
+)
+
+func newEnv(t *testing.T) (*core.DB, *core.Session, *Engine) {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	var mu sync.Mutex
+	tick := int64(1 << 30)
+	db, err := core.Open(sw, Options(&mu, &tick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("mao")
+	if err := typefuncs.RegisterAll(s); err != nil {
+		t.Fatal(err)
+	}
+	return db, s, New(db)
+}
+
+// Options builds deterministic core options (helper kept separate so the
+// fixture reads clearly).
+func Options(mu *sync.Mutex, tick *int64) core.Options {
+	return core.Options{
+		Buffers: 128,
+		TimeSource: func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			*tick += 1000
+			return *tick
+		},
+	}
+}
+
+func mustRun(t *testing.T, e *Engine, s *core.Session, q string) *Result {
+	t.Helper()
+	res, err := e.Run(s, q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return res
+}
+
+func names(res *Result) []string {
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[len(row)-1].S)
+	}
+	return out
+}
+
+func TestOwnerTypeDirQuery(t *testing.T) {
+	// The paper's example: movie or sound files owned by mao in
+	// /users/mao.
+	_, s, e := newEnv(t)
+	if err := s.DefineType("movie", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DefineType("sound", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MkdirAll("/users/mao"); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]core.CreateOpts{
+		"/users/mao/clip.movie": {Type: "movie"},
+		"/users/mao/song.sound": {Type: "sound"},
+		"/users/mao/notes.txt":  {Type: typefuncs.TypeASCII},
+		"/other-owner-clip.mov": {Type: "movie"},
+	}
+	for path, opts := range files {
+		owner := s
+		if strings.HasPrefix(path, "/other") {
+			owner = s.DB().NewSession("someone-else")
+		}
+		if err := owner.WriteFile(path, []byte("x"), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, e, s, `retrieve (filename)
+		where owner(file) = "mao"
+		and (filetype(file) = "movie" or filetype(file) = "sound")
+		and dir(file) = "/users/mao"`)
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row[0].S] = true
+	}
+	if len(got) != 2 || !got["clip.movie"] || !got["song.sound"] {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSnowQuery(t *testing.T) {
+	// The paper's TM query: April images that are more than 50% snow.
+	_, s, e := newEnv(t)
+	scenes := []struct {
+		name string
+		frac float64
+	}{
+		{"/tm-snowy", 0.8},
+		{"/tm-patchy", 0.6},
+		{"/tm-clear", 0.1},
+	}
+	for i, sc := range scenes {
+		img := satgen.Generate(satgen.Params{Width: 32, Height: 32, SnowFraction: sc.frac, Seed: uint64(i + 1)})
+		if err := s.WriteFile(sc.name, img.Encode(), core.CreateOpts{Type: typefuncs.TypeTM}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Not a TM file: must be filtered, not error, since snow() is
+	// declared only for type tm.
+	if err := s.WriteFile("/readme", []byte("no pixels here"), core.CreateOpts{Type: typefuncs.TypeASCII}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e, s, `retrieve (snow(file), filename)
+		where filetype(file) = "tm" and snow(file)/pixelcount(file) > 0.5`)
+	got := map[string]int64{}
+	for _, row := range res.Rows {
+		got[row[1].S] = row[0].I
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, ok := got["tm-snowy"]; !ok {
+		t.Fatal("snowy scene missing")
+	}
+	if _, ok := got["tm-patchy"]; !ok {
+		t.Fatal("patchy scene missing")
+	}
+	if got["tm-snowy"] <= 0 {
+		t.Fatal("snow() returned nonpositive count")
+	}
+}
+
+func TestKeywordsInQuery(t *testing.T) {
+	// retrieve (filename) where "RISC" in keywords(file)
+	_, s, e := newEnv(t)
+	doc := ".KW RISC architecture\n.KW benchmarks\nThe RISC paper body.\n"
+	if err := s.WriteFile("/risc.t", []byte(doc), core.CreateOpts{Type: typefuncs.TypeTroff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/other.t", []byte(".KW databases\nbody\n"), core.CreateOpts{Type: typefuncs.TypeTroff}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e, s, `retrieve (filename) where "RISC" in keywords(file)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "risc.t" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestArithmeticAndComparisons(t *testing.T) {
+	_, s, e := newEnv(t)
+	if err := s.WriteFile("/f1", make([]byte, 100), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/f2", make([]byte, 300), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e, s, `retrieve (filename, size(file)) where size(file) >= 100 and size(file) * 2 < 500`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "f1" || res.Rows[0][1].I != 100 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustRun(t, e, s, `retrieve (filename) where not (size(file) = 100) and not isdir(file)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "f2" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestAsOfQuery(t *testing.T) {
+	db, s, e := newEnv(t)
+	if err := s.WriteFile("/old", []byte("x"), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Manager().LastCommitTime()
+	if err := s.Unlink("/old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/new", []byte("y"), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	now := mustRun(t, e, s, `retrieve (filename) where not isdir(file)`)
+	then := mustRun(t, e, s, fmt.Sprintf(`retrieve (filename) where not isdir(file) asof %d`, before))
+	if got := names(now); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("now = %v", got)
+	}
+	if got := names(then); len(got) != 1 || got[0] != "old" {
+		t.Fatalf("then = %v", got)
+	}
+}
+
+func TestDefineStatements(t *testing.T) {
+	db, s, e := newEnv(t)
+	res := mustRun(t, e, s, `define type "HDF" doc "Hierarchical Data Format"`)
+	if res.Message == "" {
+		t.Fatal("no message")
+	}
+	if _, ok := db.Catalog().Type("HDF"); !ok {
+		t.Fatal("type not defined")
+	}
+	res = mustRun(t, e, s, `define function "hdfdims" for "HDF" doc "dataset dimensions"`)
+	if res.Message == "" {
+		t.Fatal("no message")
+	}
+	if _, ok := db.Catalog().Function("hdfdims"); !ok {
+		t.Fatal("function not declared")
+	}
+	// Declared but not loaded: calling errors.
+	if err := s.WriteFile("/d.hdf", []byte("x"), core.CreateOpts{Type: "HDF"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Call("hdfdims", "/d.hdf"); !errors.Is(err, core.ErrNoFunction) {
+		t.Fatalf("unloaded function call: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	_, s, e := newEnv(t)
+	bad := []string{
+		``,
+		`retrieve filename`,
+		`retrieve (filename`,
+		`retrieve (filename) where`,
+		`retrieve (filename) where size(file) >`,
+		`retrieve (filename) extra`,
+		`retrieve (nosuchattr)`,
+		`retrieve (size(file, file))`,
+		`retrieve (size(filename))`,
+		`retrieve (filename) where "a" in "unterminated`,
+		`define widget "x"`,
+	}
+	for _, q := range bad {
+		if _, err := e.Run(s, q); err == nil {
+			t.Errorf("query %q did not fail", q)
+		}
+	}
+}
+
+func TestSortByAndLimit(t *testing.T) {
+	_, s, e := newEnv(t)
+	sizes := map[string]int{"/a": 300, "/b": 100, "/c": 200, "/d": 50}
+	for p, n := range sizes {
+		if err := s.WriteFile(p, make([]byte, n), core.CreateOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, e, s, `retrieve (filename, size(file)) where not isdir(file) sort by size(file)`)
+	want := []string{"d", "b", "c", "a"}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0].S != w {
+			t.Fatalf("ascending order = %v", res.Rows)
+		}
+	}
+	res = mustRun(t, e, s, `retrieve (filename) where not isdir(file) sort by size(file) desc limit 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "a" || res.Rows[1][0].S != "c" {
+		t.Fatalf("desc limit rows = %v", res.Rows)
+	}
+	// Sort by a string key.
+	res = mustRun(t, e, s, `retrieve (filename) where not isdir(file) sort by filename desc limit 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "d" {
+		t.Fatalf("string sort = %v", res.Rows)
+	}
+	// Bad limits are rejected.
+	for _, q := range []string{
+		`retrieve (filename) limit 0`,
+		`retrieve (filename) limit x`,
+		`retrieve (filename) sort size(file)`,
+	} {
+		if _, err := e.Run(s, q); err == nil {
+			t.Errorf("query %q did not fail", q)
+		}
+	}
+}
+
+func TestQueryValueRendering(t *testing.T) {
+	_, s, e := newEnv(t)
+	if err := s.WriteFile("/v", []byte("abc"), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e, s, `retrieve (filename, size(file), owner(file)) where filename = "v"`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0].Kind != value.KindString || row[1].Kind != value.KindInt || row[2].S != "mao" {
+		t.Fatalf("row = %v", row)
+	}
+	if res.Columns[0] != "filename" || res.Columns[1] != "size" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}

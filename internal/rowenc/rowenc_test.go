@@ -1,0 +1,109 @@
+package rowenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	row := NewWriter(64).
+		Uint32(42).
+		Uint64(1 << 40).
+		Int64(-7).
+		String("hello").
+		Bytes([]byte{1, 2, 3}).
+		String("").
+		Done()
+	r := NewReader(row)
+	if got := r.Uint32(); got != 42 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	if got := r.Uint64(); got != 1<<40 {
+		t.Fatalf("Uint64 = %d", got)
+	}
+	if got := r.Int64(); got != -7 {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes remain", r.Remaining())
+	}
+}
+
+func TestTruncatedRowsErr(t *testing.T) {
+	row := NewWriter(16).String("hello world").Done()
+	for cut := 0; cut < len(row); cut++ {
+		r := NewReader(row[:cut])
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("no error at cut %d", cut)
+		}
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.Uint64() // fails
+	if r.Err() == nil {
+		t.Fatal("no error")
+	}
+	if got := r.Uint32(); got != 0 {
+		t.Fatalf("post-error read = %d", got)
+	}
+}
+
+func TestReadingWrongShapeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		r := NewReader(data)
+		_ = r.Uint32()
+		_ = r.String()
+		_ = r.Int64()
+		_ = r.Bytes()
+		_ = r.Uint64()
+		return true // just must not panic
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(a uint32, b uint64, c int64, s string, raw []byte) bool {
+		row := NewWriter(0).Uint32(a).Uint64(b).Int64(c).String(s).Bytes(raw).Done()
+		r := NewReader(row)
+		if r.Uint32() != a || r.Uint64() != b || r.Int64() != c {
+			return false
+		}
+		if r.String() != s {
+			return false
+		}
+		if !bytes.Equal(r.Bytes(), raw) && !(len(raw) == 0) {
+			return false
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	row := NewWriter(0).Int64(math.MinInt64).Int64(math.MaxInt64).Uint64(math.MaxUint64).Done()
+	r := NewReader(row)
+	if r.Int64() != math.MinInt64 || r.Int64() != math.MaxInt64 || r.Uint64() != math.MaxUint64 {
+		t.Fatal("extremes corrupted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package rules implements the predicate-driven file migration service
+// the paper describes under "Services Under Investigation": "Arbitrarily
+// complex rules controlling the locations of files or groups of files
+// would be declared to the database manager. When a file met the
+// announced conditions, it would be moved from one location in the
+// storage hierarchy to another."
+//
+// A rule is a POSTQUEL predicate plus a target device class; applying
+// the rule set migrates every matching file that is not already on its
+// target. Rule sets can be stored in the file system itself, so they
+// are transaction-protected and time-travelable like everything else.
+package rules
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Rule is one migration policy.
+type Rule struct {
+	Name        string
+	Where       string // POSTQUEL predicate over files
+	TargetClass string // device class matching files move to
+}
+
+// Migration records one applied move.
+type Migration struct {
+	Rule string
+	Path string
+	From string
+	To   string
+}
+
+// Engine evaluates migration rules against a database.
+type Engine struct {
+	db *core.DB
+	q  *query.Engine
+
+	mu    sync.Mutex
+	rules []Rule
+}
+
+// New returns a rules engine for db.
+func New(db *core.DB) *Engine {
+	return &Engine{db: db, q: query.New(db)}
+}
+
+// Add declares a rule. The predicate is validated by running it against
+// the current database before the rule is accepted.
+func (e *Engine) Add(s *core.Session, r Rule) error {
+	if r.Name == "" || r.TargetClass == "" || r.Where == "" {
+		return fmt.Errorf("rules: rule needs name, where, and target class")
+	}
+	if _, err := e.db.Switch().Manager(r.TargetClass); err != nil {
+		return err
+	}
+	if _, err := e.q.Run(s, probeQuery(r.Where)); err != nil {
+		return fmt.Errorf("rules: bad predicate %q: %w", r.Where, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, have := range e.rules {
+		if have.Name == r.Name {
+			return fmt.Errorf("rules: rule %q already declared", r.Name)
+		}
+	}
+	e.rules = append(e.rules, r)
+	return nil
+}
+
+// Remove drops a rule by name.
+func (e *Engine) Remove(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, r := range e.rules {
+		if r.Name == name {
+			e.rules = append(e.rules[:i], e.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Rules lists the declared rules.
+func (e *Engine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Rule(nil), e.rules...)
+}
+
+func probeQuery(where string) string {
+	return fmt.Sprintf(`retrieve (path(file)) where not isdir(file) and (%s)`, where)
+}
+
+// Apply evaluates every rule and migrates matching files to their
+// target class. Earlier rules win when several match the same file in
+// one pass. It returns the migrations performed.
+func (e *Engine) Apply(s *core.Session) ([]Migration, error) {
+	e.mu.Lock()
+	rules := append([]Rule(nil), e.rules...)
+	e.mu.Unlock()
+
+	var out []Migration
+	moved := make(map[string]bool)
+	for _, r := range rules {
+		res, err := e.q.Run(s, probeQuery(r.Where))
+		if err != nil {
+			return out, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+		}
+		for _, row := range res.Rows {
+			path := row[0].S
+			if moved[path] {
+				continue
+			}
+			snap := e.db.Manager().CurrentSnapshot()
+			oid, err := e.db.Resolve(snap, path)
+			if err != nil {
+				continue // raced with an unlink
+			}
+			from, err := e.db.Switch().HomeClass(oid)
+			if err != nil || from == r.TargetClass {
+				continue
+			}
+			if err := s.Migrate(path, r.TargetClass); err != nil {
+				return out, fmt.Errorf("rules: migrating %s: %w", path, err)
+			}
+			moved[path] = true
+			out = append(out, Migration{Rule: r.Name, Path: path, From: from, To: r.TargetClass})
+		}
+	}
+	return out, nil
+}
+
+// rulesFileFormat: one rule per line, "name<TAB>class<TAB>predicate".
+
+// Save stores the rule set as a file inside the file system, making the
+// policy itself transaction-protected and versioned.
+func (e *Engine) Save(s *core.Session, path string) error {
+	var buf bytes.Buffer
+	for _, r := range e.Rules() {
+		fmt.Fprintf(&buf, "%s\t%s\t%s\n", r.Name, r.TargetClass, r.Where)
+	}
+	return s.WriteFile(path, buf.Bytes(), core.CreateOpts{})
+}
+
+// Load replaces the rule set with one stored by Save.
+func (e *Engine) Load(s *core.Session, path string) error {
+	data, err := s.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rules []Rule
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("rules: malformed rule line %q in %s", line, path)
+		}
+		rules = append(rules, Rule{Name: parts[0], TargetClass: parts[1], Where: parts[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.rules = rules
+	e.mu.Unlock()
+	return nil
+}

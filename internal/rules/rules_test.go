@@ -1,0 +1,175 @@
+package rules
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func newEnv(t *testing.T) (*core.DB, *core.Session, *Engine) {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	sw.Register(device.NewJukebox(device.DefaultJukebox(), nil))
+	var mu sync.Mutex
+	tick := int64(1 << 30)
+	db, err := core.Open(sw, core.Options{
+		Buffers:      128,
+		DefaultClass: "mem",
+		TimeSource: func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			tick += 1000
+			return tick
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("mao")
+	return db, s, New(db)
+}
+
+func TestRuleValidation(t *testing.T) {
+	_, s, e := newEnv(t)
+	if err := e.Add(s, Rule{Name: "", Where: "size(file) > 1", TargetClass: "jukebox"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := e.Add(s, Rule{Name: "r", Where: "syntax error here(", TargetClass: "jukebox"}); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+	if err := e.Add(s, Rule{Name: "r", Where: "size(file) > 1", TargetClass: "tape"}); err == nil {
+		t.Fatal("unknown device class accepted")
+	}
+	if err := e.Add(s, Rule{Name: "r", Where: "size(file) > 1", TargetClass: "jukebox"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(s, Rule{Name: "r", Where: "size(file) > 2", TargetClass: "jukebox"}); err == nil {
+		t.Fatal("duplicate rule name accepted")
+	}
+}
+
+func TestApplyMigratesMatchingFiles(t *testing.T) {
+	db, s, e := newEnv(t)
+	if err := s.WriteFile("/big", make([]byte, 100_000), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/small", make([]byte, 10), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Add(s, Rule{
+		Name:        "big-files-to-jukebox",
+		Where:       "size(file) > 50000",
+		TargetClass: "jukebox",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := e.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Path != "/big" || moves[0].To != "jukebox" || moves[0].From != "mem" {
+		t.Fatalf("moves = %+v", moves)
+	}
+	snap := db.Manager().CurrentSnapshot()
+	bigOID, err := db.Resolve(snap, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class, _ := db.Switch().HomeClass(bigOID); class != "jukebox" {
+		t.Fatalf("big on %q", class)
+	}
+	smallOID, err := db.Resolve(snap, "/small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class, _ := db.Switch().HomeClass(smallOID); class != "mem" {
+		t.Fatalf("small on %q", class)
+	}
+	// Contents survive and remain readable after migration.
+	data, err := s.ReadFile("/big")
+	if err != nil || len(data) != 100_000 {
+		t.Fatalf("migrated read: %d bytes, %v", len(data), err)
+	}
+	// Second apply is a no-op: already on target.
+	moves, err = e.Apply(s)
+	if err != nil || len(moves) != 0 {
+		t.Fatalf("second apply: %+v %v", moves, err)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	_, s, e := newEnv(t)
+	if err := s.WriteFile("/f", make([]byte, 1000), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(s, Rule{Name: "first", Where: "size(file) > 100", TargetClass: "jukebox"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(s, Rule{Name: "second", Where: "size(file) > 10", TargetClass: "mem"}); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := e.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Rule != "first" {
+		t.Fatalf("moves = %+v", moves)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, s, e := newEnv(t)
+	want := []Rule{
+		{Name: "a", Where: `size(file) > 1000 and owner(file) = "mao"`, TargetClass: "jukebox"},
+		{Name: "b", Where: "mtime(file) < 12345", TargetClass: "mem"},
+	}
+	for _, r := range want {
+		if err := e.Add(s, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Save(s, "/etc-migration-rules"); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(s.DB())
+	if err := e2.Load(s, "/etc-migration-rules"); err != nil {
+		t.Fatal(err)
+	}
+	got := e2.Rules()
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d rules", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rule %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Malformed file rejected.
+	if err := s.WriteFile("/bad-rules", []byte("no tabs here\n"), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Load(s, "/bad-rules"); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("bad rules file: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, s, e := newEnv(t)
+	if err := e.Add(s, Rule{Name: "r", Where: "size(file) > 1", TargetClass: "jukebox"}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Remove("r") {
+		t.Fatal("remove failed")
+	}
+	if e.Remove("r") {
+		t.Fatal("double remove succeeded")
+	}
+	if len(e.Rules()) != 0 {
+		t.Fatal("rules remain")
+	}
+}

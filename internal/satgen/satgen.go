@@ -1,0 +1,146 @@
+// Package satgen generates synthetic multi-band satellite images
+// standing in for the Thematic Mapper scenes the Berkeley installation
+// stored ("Inversion currently stores several hundred satellite images
+// from the Thematic Mapper satellite, a device which records five
+// spectral bands for each image"). The real Sequoia 2000 scenes are not
+// available, so images are synthesized with a planted snow mask; the
+// snow() classification function recovers the planted fraction, which
+// lets tests assert exact expected values.
+package satgen
+
+import "encoding/binary"
+
+// Bands is the number of spectral bands per image.
+const Bands = 5
+
+// Snow-pixel convention: a pixel is snow when its first two bands are
+// both at or above SnowThreshold. The generator plants values on either
+// side of the threshold; classifiers recover them.
+const SnowThreshold = 200
+
+// Image is a decoded multi-band scene. Pixel (x, y) of band b is at
+// Pix[b][y*Width+x].
+type Image struct {
+	Width, Height int
+	Pix           [Bands][]byte
+}
+
+// Params configures generation.
+type Params struct {
+	Width, Height int
+	SnowFraction  float64 // fraction of pixels planted as snow
+	Seed          uint64
+}
+
+const magic = 0x4d49_4d54 // "TMIM"
+
+// Generate builds a synthetic scene with approximately SnowFraction of
+// its pixels planted as snow (deterministic for a given seed).
+func Generate(p Params) *Image {
+	img := &Image{Width: p.Width, Height: p.Height}
+	n := p.Width * p.Height
+	for b := 0; b < Bands; b++ {
+		img.Pix[b] = make([]byte, n)
+	}
+	rng := p.Seed*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	threshold := uint64(p.SnowFraction * (1 << 20))
+	for i := 0; i < n; i++ {
+		snow := next()%(1<<20) < threshold
+		for b := 0; b < Bands; b++ {
+			v := byte(next() % 180) // background stays below threshold
+			if snow && b < 2 {
+				v = SnowThreshold + byte(next()%(256-SnowThreshold))
+			}
+			img.Pix[b][i] = v
+		}
+	}
+	return img
+}
+
+// Encode serialises the image: magic, width, height, bands, then
+// band-major pixel bytes.
+func (img *Image) Encode() []byte {
+	n := img.Width * img.Height
+	out := make([]byte, 16+Bands*n)
+	binary.LittleEndian.PutUint32(out[0:], magic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(img.Width))
+	binary.LittleEndian.PutUint32(out[8:], uint32(img.Height))
+	binary.LittleEndian.PutUint32(out[12:], Bands)
+	off := 16
+	for b := 0; b < Bands; b++ {
+		copy(out[off:], img.Pix[b])
+		off += n
+	}
+	return out
+}
+
+// Decode parses an encoded image.
+func Decode(data []byte) (*Image, bool) {
+	if len(data) < 16 || binary.LittleEndian.Uint32(data[0:]) != magic {
+		return nil, false
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:]))
+	h := int(binary.LittleEndian.Uint32(data[8:]))
+	bands := int(binary.LittleEndian.Uint32(data[12:]))
+	n := w * h
+	if w <= 0 || h <= 0 || bands != Bands || len(data) < 16+Bands*n {
+		return nil, false
+	}
+	img := &Image{Width: w, Height: h}
+	off := 16
+	for b := 0; b < Bands; b++ {
+		img.Pix[b] = data[off : off+n]
+		off += n
+	}
+	return img, true
+}
+
+// SnowCount counts planted snow pixels.
+func (img *Image) SnowCount() int {
+	n := 0
+	for i := range img.Pix[0] {
+		if img.Pix[0][i] >= SnowThreshold && img.Pix[1][i] >= SnowThreshold {
+			n++
+		}
+	}
+	return n
+}
+
+// PixelCount reports the number of pixels per band.
+func (img *Image) PixelCount() int { return img.Width * img.Height }
+
+// PixelAvg reports the mean pixel value across all bands.
+func (img *Image) PixelAvg() float64 {
+	total := 0.0
+	n := 0
+	for b := 0; b < Bands; b++ {
+		for _, v := range img.Pix[b] {
+			total += float64(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// GetPixel reads pixel (x, y) of a band.
+func (img *Image) GetPixel(band, x, y int) (byte, bool) {
+	if band < 0 || band >= Bands || x < 0 || x >= img.Width || y < 0 || y >= img.Height {
+		return 0, false
+	}
+	return img.Pix[band][y*img.Width+x], true
+}
+
+// GetBand returns one band's pixels.
+func (img *Image) GetBand(band int) ([]byte, bool) {
+	if band < 0 || band >= Bands {
+		return nil, false
+	}
+	return img.Pix[band], true
+}

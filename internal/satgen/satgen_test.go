@@ -1,0 +1,103 @@
+package satgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := Generate(Params{Width: 17, Height: 9, SnowFraction: 0.3, Seed: 42})
+	data := img.Encode()
+	got, ok := Decode(data)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got.Width != 17 || got.Height != 9 {
+		t.Fatalf("dims = %dx%d", got.Width, got.Height)
+	}
+	for b := 0; b < Bands; b++ {
+		for i := range img.Pix[b] {
+			if img.Pix[b][i] != got.Pix[b][i] {
+				t.Fatalf("band %d pixel %d differs", b, i)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 15),
+		Generate(Params{Width: 4, Height: 4, Seed: 1}).Encode()[:20], // truncated
+	}
+	for i, b := range bad {
+		if _, ok := Decode(b); ok {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestSnowFractionPlanted(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		img := Generate(Params{Width: 100, Height: 100, SnowFraction: frac, Seed: 7})
+		got := float64(img.SnowCount()) / float64(img.PixelCount())
+		if math.Abs(got-frac) > 0.05 {
+			t.Errorf("planted %.2f, recovered %.3f", frac, got)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Generate(Params{Width: 8, Height: 8, SnowFraction: 0.5, Seed: 3})
+	b := Generate(Params{Width: 8, Height: 8, SnowFraction: 0.5, Seed: 3})
+	c := Generate(Params{Width: 8, Height: 8, SnowFraction: 0.5, Seed: 4})
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("same seed differs")
+	}
+	if string(a.Encode()) == string(c.Encode()) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestGetPixelAndBandBounds(t *testing.T) {
+	img := Generate(Params{Width: 4, Height: 3, Seed: 1})
+	if _, ok := img.GetPixel(0, 3, 2); !ok {
+		t.Fatal("valid pixel rejected")
+	}
+	bad := [][3]int{{-1, 0, 0}, {Bands, 0, 0}, {0, 4, 0}, {0, 0, 3}}
+	for _, c := range bad {
+		if _, ok := img.GetPixel(c[0], c[1], c[2]); ok {
+			t.Errorf("out-of-range pixel %v accepted", c)
+		}
+	}
+	if b, ok := img.GetBand(2); !ok || len(b) != 12 {
+		t.Fatalf("GetBand = %d bytes, %v", len(b), ok)
+	}
+	if _, ok := img.GetBand(Bands); ok {
+		t.Fatal("bad band accepted")
+	}
+}
+
+func TestPixelAvgBounds(t *testing.T) {
+	img := Generate(Params{Width: 16, Height: 16, SnowFraction: 0.5, Seed: 5})
+	avg := img.PixelAvg()
+	if avg <= 0 || avg >= 255 {
+		t.Fatalf("avg = %f", avg)
+	}
+}
+
+func TestPropertyRoundTripAnyDims(t *testing.T) {
+	f := func(w, h uint8, frac float64, seed uint64) bool {
+		width, height := int(w%40)+1, int(h%40)+1
+		img := Generate(Params{Width: width, Height: height,
+			SnowFraction: math.Mod(math.Abs(frac), 1), Seed: seed})
+		got, ok := Decode(img.Encode())
+		return ok && got.Width == width && got.Height == height &&
+			got.SnowCount() == img.SnowCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

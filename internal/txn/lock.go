@@ -1,0 +1,235 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// ErrDeadlock is returned to one participant of a lock cycle; its
+// transaction should abort and may retry.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// LockMode is a lock strength.
+type LockMode int
+
+// Lock strengths: readers share, writers exclude.
+const (
+	LockShared LockMode = iota
+	LockExclusive
+)
+
+// LockSpace partitions the lock namespace so different kinds of
+// resources cannot collide.
+type LockSpace uint8
+
+// Lock spaces used across the system.
+const (
+	SpaceRelation LockSpace = iota // whole-relation locks (file contents)
+	SpaceName                      // (directory, filename) locks
+	SpaceMeta                      // catalog and metadata locks
+)
+
+// LockTag names one lockable resource.
+type LockTag struct {
+	Space LockSpace
+	Rel   device.OID
+	Key   uint64
+}
+
+type lockWaiter struct {
+	xid   XID
+	mode  LockMode
+	ready chan error
+}
+
+type lockState struct {
+	holders map[XID]LockMode
+	queue   []*lockWaiter
+}
+
+// LockManager implements strict two-phase locking with deadlock
+// detection over the waits-for graph. Locks are held until ReleaseAll
+// at transaction end [GRAY76].
+type LockManager struct {
+	mu       sync.Mutex
+	locks    map[LockTag]*lockState
+	held     map[XID]map[LockTag]LockMode
+	waitsFor map[XID]map[XID]bool
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks:    make(map[LockTag]*lockState),
+		held:     make(map[XID]map[LockTag]LockMode),
+		waitsFor: make(map[XID]map[XID]bool),
+	}
+}
+
+func compatible(a, b LockMode) bool { return a == LockShared && b == LockShared }
+
+// grantableLocked reports whether xid can take tag in mode given
+// current holders. Caller holds m.mu.
+func (m *LockManager) grantableLocked(ls *lockState, xid XID, mode LockMode) bool {
+	for holder, hmode := range ls.holders {
+		if holder == xid {
+			continue // self-conflict handled by upgrade logic
+		}
+		if !compatible(mode, hmode) && !compatible(hmode, mode) {
+			return false
+		}
+		if mode == LockExclusive || hmode == LockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *LockManager) recordLocked(xid XID, tag LockTag, mode LockMode, ls *lockState) {
+	if cur, ok := ls.holders[xid]; !ok || mode > cur {
+		ls.holders[xid] = mode
+	}
+	h := m.held[xid]
+	if h == nil {
+		h = make(map[LockTag]LockMode)
+		m.held[xid] = h
+	}
+	if cur, ok := h[tag]; !ok || mode > cur {
+		h[tag] = mode
+	}
+}
+
+// wouldDeadlockLocked reports whether adding edges waiter→holders
+// creates a cycle back to waiter. Caller holds m.mu.
+func (m *LockManager) wouldDeadlockLocked(waiter XID, blockers map[XID]bool) bool {
+	seen := map[XID]bool{}
+	var dfs func(x XID) bool
+	dfs = func(x XID) bool {
+		if x == waiter {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for next := range m.waitsFor[x] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range blockers {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Acquire takes tag in mode for xid, blocking behind conflicting
+// holders. It returns ErrDeadlock if waiting would close a cycle.
+// Re-acquiring a lock already held at equal or stronger mode is a
+// no-op; holding Shared and asking for Exclusive is an upgrade.
+func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
+	m.mu.Lock()
+	if cur, ok := m.held[xid][tag]; ok && cur >= mode {
+		m.mu.Unlock()
+		return nil
+	}
+	ls := m.locks[tag]
+	if ls == nil {
+		ls = &lockState{holders: make(map[XID]LockMode)}
+		m.locks[tag] = ls
+	}
+	if m.grantableLocked(ls, xid, mode) {
+		m.recordLocked(xid, tag, mode, ls)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait. Compute blockers and check for deadlock first.
+	blockers := make(map[XID]bool)
+	for holder, hmode := range ls.holders {
+		if holder == xid {
+			continue
+		}
+		if mode == LockExclusive || hmode == LockExclusive {
+			blockers[holder] = true
+		}
+	}
+	if m.wouldDeadlockLocked(xid, blockers) {
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	w := &lockWaiter{xid: xid, mode: mode, ready: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	m.waitsFor[xid] = blockers
+	m.mu.Unlock()
+
+	err := <-w.ready
+	return err
+}
+
+// ReleaseAll drops every lock xid holds and wakes newly grantable
+// waiters. Called at commit or abort (strict 2PL).
+func (m *LockManager) ReleaseAll(xid XID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.waitsFor, xid)
+	tags := m.held[xid]
+	delete(m.held, xid)
+	for tag := range tags {
+		ls := m.locks[tag]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, xid)
+		m.wakeLocked(tag, ls)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(m.locks, tag)
+		}
+	}
+}
+
+// wakeLocked grants queued waiters in FIFO order while they remain
+// compatible, then refreshes the waits-for edges of everyone still
+// queued (their old edges may point at released holders, and stale
+// edges would let later cycles go undetected). Caller holds m.mu.
+func (m *LockManager) wakeLocked(tag LockTag, ls *lockState) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if !m.grantableLocked(ls, w.xid, w.mode) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		delete(m.waitsFor, w.xid)
+		m.recordLocked(w.xid, tag, w.mode, ls)
+		w.ready <- nil
+	}
+	for _, w := range ls.queue {
+		blockers := make(map[XID]bool)
+		for holder, hmode := range ls.holders {
+			if holder == w.xid {
+				continue
+			}
+			if w.mode == LockExclusive || hmode == LockExclusive {
+				blockers[holder] = true
+			}
+		}
+		m.waitsFor[w.xid] = blockers
+	}
+}
+
+// HeldBy reports the locks xid currently holds (for tests and the
+// monitor).
+func (m *LockManager) HeldBy(xid XID) map[LockTag]LockMode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[LockTag]LockMode, len(m.held[xid]))
+	for t, md := range m.held[xid] {
+		out[t] = md
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+)
+
+// Reserved relation OIDs for the transaction logs. These relations are
+// written through (forced) at commit; they are the only state recovery
+// consults, which is why recovery is "essentially instantaneous".
+const (
+	StatusLogRel device.OID = 1
+	TimeLogRel   device.OID = 2
+)
+
+const (
+	xidsPerStatusPage = (device.PageSize - 16) * 4 // 2 bits each after header
+	xidsPerTimePage   = device.PageSize / 8
+)
+
+// Log is the transaction status file plus the commit-time file. Pages
+// are cached in memory and written through to the device on Force, so a
+// crash can lose at most the statuses that were never forced — exactly
+// the transactions that must be rolled back anyway.
+//
+// Page 0 of the status relation is a control page:
+//
+//	0..7   magic
+//	8..11  reservedXID: all XIDs below this may have been handed out
+//	12..15 reserved
+type Log struct {
+	mu       sync.Mutex
+	dev      device.Manager
+	status   [][]byte // cached status pages, index 0 = control page
+	times    [][]byte
+	dirtyS   map[int]bool
+	dirtyT   map[int]bool
+	reserved XID
+}
+
+const logMagic = 0x1993_0426_494e_5646 // "INVF", April 1993
+
+// xidReserveChunk is how many XIDs are reserved per control-page force.
+const xidReserveChunk = 4096
+
+// OpenLog opens (or initialises) the transaction logs on dev. The
+// status and time relations are created if missing.
+func OpenLog(dev device.Manager) (*Log, error) {
+	l := &Log{
+		dev:    dev,
+		dirtyS: make(map[int]bool),
+		dirtyT: make(map[int]bool),
+	}
+	if err := dev.Create(StatusLogRel); err != nil {
+		return nil, err
+	}
+	if err := dev.Create(TimeLogRel); err != nil {
+		return nil, err
+	}
+	// Load existing pages.
+	n, err := dev.NPages(StatusLogRel)
+	if err != nil {
+		return nil, err
+	}
+	for p := uint32(0); p < n; p++ {
+		buf := make([]byte, device.PageSize)
+		if err := dev.ReadPage(StatusLogRel, p, buf); err != nil {
+			return nil, err
+		}
+		l.status = append(l.status, buf)
+	}
+	nt, err := dev.NPages(TimeLogRel)
+	if err != nil {
+		return nil, err
+	}
+	for p := uint32(0); p < nt; p++ {
+		buf := make([]byte, device.PageSize)
+		if err := dev.ReadPage(TimeLogRel, p, buf); err != nil {
+			return nil, err
+		}
+		l.times = append(l.times, buf)
+	}
+	if len(l.status) == 0 {
+		// Fresh database: create the control page, mark bootstrap
+		// committed.
+		ctrl := make([]byte, device.PageSize)
+		binary.LittleEndian.PutUint64(ctrl[0:], logMagic)
+		l.status = append(l.status, ctrl)
+		l.dirtyS[0] = true
+		l.reserved = BootstrapXID + 1
+		l.setReserved(l.reserved)
+		l.setStatus(BootstrapXID, StatusCommitted)
+		l.setCommitTime(BootstrapXID, 1)
+		if err := l.Force(); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	if binary.LittleEndian.Uint64(l.status[0][0:]) != logMagic {
+		return nil, fmt.Errorf("txn: status log corrupt (bad magic)")
+	}
+	l.reserved = XID(binary.LittleEndian.Uint32(l.status[0][8:]))
+	return l, nil
+}
+
+func (l *Log) setReserved(x XID) {
+	binary.LittleEndian.PutUint32(l.status[0][8:], uint32(x))
+	l.dirtyS[0] = true
+}
+
+// Reserved reports the XID ceiling persisted by the control page; every
+// XID ever handed out is below it.
+func (l *Log) Reserved() XID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reserved
+}
+
+// ReserveThrough raises the persisted XID ceiling if needed, forcing
+// the control page. Begin calls this in chunks so most transaction
+// starts do no I/O.
+func (l *Log) ReserveThrough(x XID) error {
+	l.mu.Lock()
+	if x < l.reserved {
+		l.mu.Unlock()
+		return nil
+	}
+	l.reserved = x + xidReserveChunk
+	l.setReserved(l.reserved)
+	l.mu.Unlock()
+	return l.Force()
+}
+
+// statusLoc maps an XID to (page index, byte offset, bit shift) in the
+// status relation. Page 0 is the control page, so statuses start on
+// page 1; the first 16 bytes of each status page are reserved.
+func statusLoc(x XID) (pageIdx int, byteOff int, shift uint) {
+	i := uint64(x)
+	pageIdx = 1 + int(i/uint64(xidsPerStatusPage))
+	rem := int(i % uint64(xidsPerStatusPage))
+	byteOff = 16 + rem/4
+	shift = uint((rem % 4) * 2)
+	return
+}
+
+func timeLoc(x XID) (pageIdx, byteOff int) {
+	i := uint64(x)
+	return int(i / uint64(xidsPerTimePage)), int(i%uint64(xidsPerTimePage)) * 8
+}
+
+// ensureStatusPage grows the cached status relation through pageIdx.
+func (l *Log) ensureStatusPage(pageIdx int) {
+	for len(l.status) <= pageIdx {
+		l.status = append(l.status, make([]byte, device.PageSize))
+		l.dirtyS[len(l.status)-1] = true
+	}
+}
+
+func (l *Log) ensureTimePage(pageIdx int) {
+	for len(l.times) <= pageIdx {
+		l.times = append(l.times, make([]byte, device.PageSize))
+		l.dirtyT[len(l.times)-1] = true
+	}
+}
+
+// setStatus records the 2-bit state of x. Caller holds l.mu or is in
+// bootstrap.
+func (l *Log) setStatus(x XID, s Status) {
+	pi, off, shift := statusLoc(x)
+	l.ensureStatusPage(pi)
+	b := l.status[pi][off]
+	b &^= 3 << shift
+	b |= byte(s&3) << shift
+	l.status[pi][off] = b
+	l.dirtyS[pi] = true
+}
+
+func (l *Log) setCommitTime(x XID, t int64) {
+	pi, off := timeLoc(x)
+	l.ensureTimePage(pi)
+	binary.LittleEndian.PutUint64(l.times[pi][off:], uint64(t))
+	l.dirtyT[pi] = true
+}
+
+// SetState records the state of x (and its commit time when s is
+// StatusCommitted) in the cached log pages. Call Force to make it
+// stable.
+func (l *Log) SetState(x XID, s Status, commitTime int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.setStatus(x, s)
+	if s == StatusCommitted {
+		l.setCommitTime(x, commitTime)
+	}
+}
+
+// State reads the recorded state of x.
+func (l *Log) State(x XID) Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pi, off, shift := statusLoc(x)
+	if pi >= len(l.status) {
+		return StatusInProgress
+	}
+	return Status((l.status[pi][off] >> shift) & 3)
+}
+
+// CommitTime reads the recorded commit time of x (0 if none).
+func (l *Log) CommitTime(x XID) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pi, off := timeLoc(x)
+	if pi >= len(l.times) {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(l.times[pi][off:]))
+}
+
+// Force writes every dirty log page through to the device. This is the
+// only forced write a commit requires beyond the data pages themselves.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.forcePages(StatusLogRel, l.status, l.dirtyS); err != nil {
+		return err
+	}
+	if err := l.forcePages(TimeLogRel, l.times, l.dirtyT); err != nil {
+		return err
+	}
+	return l.dev.Sync()
+}
+
+func (l *Log) forcePages(rel device.OID, pages [][]byte, dirty map[int]bool) error {
+	n, err := l.dev.NPages(rel)
+	if err != nil {
+		return err
+	}
+	for int(n) < len(pages) {
+		if _, err := l.dev.Extend(rel); err != nil {
+			return err
+		}
+		n++
+	}
+	for pi := range dirty {
+		if err := l.dev.WritePage(rel, uint32(pi), pages[pi]); err != nil {
+			return err
+		}
+		delete(dirty, pi)
+	}
+	return nil
+}

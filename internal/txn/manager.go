@@ -1,0 +1,317 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Errors returned by the transaction manager.
+var (
+	ErrTxDone     = errors.New("txn: transaction already committed or aborted")
+	ErrNestedTx   = errors.New("txn: nested transactions are not supported")
+	ErrNoSuchTx   = errors.New("txn: no such transaction")
+	ErrReadOnlyTx = errors.New("txn: historical snapshots may not be written")
+)
+
+// Manager coordinates transactions: it hands out XIDs, tracks the live
+// set, records outcomes in the status log, and owns the lock manager.
+type Manager struct {
+	mu             sync.Mutex
+	log            *Log
+	locks          *LockManager
+	next           XID
+	live           map[XID]bool
+	lastCommitTime int64
+
+	// TimeSource supplies commit timestamps (nanoseconds). It defaults
+	// to wall-clock time; tests inject deterministic sources. Commit
+	// times are forced monotone regardless.
+	TimeSource func() int64
+
+	// ForceData, when set, is invoked before the status log is forced
+	// at commit: the storage layer hooks it to flush dirty data pages,
+	// giving the no-overwrite manager durability without a WAL.
+	ForceData func() error
+}
+
+// NewManager returns a manager over an opened status log. Transactions
+// that were in progress at a crash read as in-progress from the log but
+// are not in the live set, so they are treated as aborted — recovery is
+// complete the moment this constructor returns.
+func NewManager(log *Log) *Manager {
+	return &Manager{
+		log:            log,
+		locks:          NewLockManager(),
+		next:           log.Reserved(),
+		live:           make(map[XID]bool),
+		lastCommitTime: 0,
+		TimeSource:     func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Locks exposes the lock manager.
+func (m *Manager) Locks() *LockManager { return m.locks }
+
+// Log exposes the status log (for tests and the vacuum cleaner).
+func (m *Manager) Log() *Log { return m.log }
+
+// Tx is one transaction. A Tx is not safe for concurrent use; the
+// paper's client library likewise allows "only one transaction active
+// at any time" per application.
+type Tx struct {
+	mgr  *Manager
+	id   XID
+	snap *Snapshot
+	done bool
+
+	mu    sync.Mutex
+	onEnd []func(committed bool)
+}
+
+// Begin starts a transaction with a transaction-consistent snapshot.
+func (m *Manager) Begin() (*Tx, error) {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	needReserve := id+xidReserveChunk/2 >= m.log.Reserved()
+	running := make(map[XID]bool, len(m.live))
+	for x := range m.live {
+		running[x] = true
+	}
+	m.live[id] = true
+	xmax := m.next
+	m.mu.Unlock()
+
+	if needReserve {
+		if err := m.log.ReserveThrough(id); err != nil {
+			return nil, err
+		}
+	}
+	tx := &Tx{mgr: m, id: id}
+	tx.snap = &Snapshot{mgr: m, self: id, xmax: xmax, running: running}
+	return tx, nil
+}
+
+// ID reports the transaction's XID.
+func (tx *Tx) ID() XID { return tx.id }
+
+// Snapshot reports the transaction's consistent view.
+func (tx *Tx) Snapshot() *Snapshot { return tx.snap }
+
+// OnEnd registers a hook run after the transaction ends; committed
+// reports the outcome. Hooks run in registration order.
+func (tx *Tx) OnEnd(f func(committed bool)) {
+	tx.mu.Lock()
+	tx.onEnd = append(tx.onEnd, f)
+	tx.mu.Unlock()
+}
+
+// Lock acquires tag in mode under strict 2PL for this transaction.
+func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return tx.mgr.locks.Acquire(tx.id, tag, mode)
+}
+
+// Commit makes the transaction's changes durable and visible: dirty
+// data pages are forced (via Manager.ForceData), then the status log
+// records the commit and is forced. If the data force fails the
+// transaction aborts.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	m := tx.mgr
+	if m.ForceData != nil {
+		if err := m.ForceData(); err != nil {
+			abortErr := tx.Abort()
+			if abortErr != nil {
+				return errors.Join(err, abortErr)
+			}
+			return err
+		}
+	}
+	m.mu.Lock()
+	t := m.TimeSource()
+	if t <= m.lastCommitTime {
+		t = m.lastCommitTime + 1
+	}
+	m.lastCommitTime = t
+	m.mu.Unlock()
+
+	m.log.SetState(tx.id, StatusCommitted, t)
+	if err := m.log.Force(); err != nil {
+		return err
+	}
+	tx.finish(true)
+	return nil
+}
+
+// Abort rolls the transaction back. Because storage is no-overwrite,
+// rollback writes nothing to data pages: the records it inserted are
+// simply never visible.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.mgr.log.SetState(tx.id, StatusAborted, 0)
+	tx.finish(false)
+	return nil
+}
+
+func (tx *Tx) finish(committed bool) {
+	m := tx.mgr
+	tx.done = true
+	m.mu.Lock()
+	delete(m.live, tx.id)
+	m.mu.Unlock()
+	m.locks.ReleaseAll(tx.id)
+	tx.mu.Lock()
+	hooks := tx.onEnd
+	tx.onEnd = nil
+	tx.mu.Unlock()
+	for _, f := range hooks {
+		f(committed)
+	}
+}
+
+// Done reports whether the transaction has ended.
+func (tx *Tx) Done() bool { return tx.done }
+
+// StatusOf reports the effective state of x: live transactions are
+// in-progress; transactions the log never saw commit or abort are
+// aborted (they died in a crash).
+func (m *Manager) StatusOf(x XID) Status {
+	m.mu.Lock()
+	liveNow := m.live[x]
+	m.mu.Unlock()
+	if liveNow {
+		return StatusInProgress
+	}
+	s := m.log.State(x)
+	if s == StatusInProgress {
+		return StatusAborted
+	}
+	return s
+}
+
+// CommitTime reports when x committed (0 if it did not).
+func (m *Manager) CommitTime(x XID) int64 { return m.log.CommitTime(x) }
+
+// LastCommitTime reports the most recent commit timestamp.
+func (m *Manager) LastCommitTime() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastCommitTime
+}
+
+// Horizon reports the oldest XID that any live transaction might still
+// care about: the smallest live XID, or the next XID to be assigned if
+// none are live. Records deleted by transactions that committed below
+// the horizon are invisible to every current snapshot, so the vacuum
+// cleaner may collect them.
+func (m *Manager) Horizon() XID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.next
+	for x := range m.live {
+		if x < h {
+			h = x
+		}
+	}
+	return h
+}
+
+// AsOf returns a read-only snapshot of the database as it was at time t:
+// "All transactions that had committed as of that time will be visible,
+// so the file system state will be exactly the same as it was at that
+// moment."
+func (m *Manager) AsOf(t int64) *Snapshot {
+	return &Snapshot{mgr: m, asOf: t}
+}
+
+// CurrentSnapshot returns a read-only snapshot of the latest committed
+// state, outside any transaction.
+func (m *Manager) CurrentSnapshot() *Snapshot {
+	m.mu.Lock()
+	running := make(map[XID]bool, len(m.live))
+	for x := range m.live {
+		running[x] = true
+	}
+	xmax := m.next
+	m.mu.Unlock()
+	return &Snapshot{mgr: m, xmax: xmax, running: running}
+}
+
+// CurrentSnapshotFor returns a snapshot seeing the latest committed
+// state plus self's own uncommitted changes. Under strict two-phase
+// locking, mutations locate the row versions they supersede through
+// such a *current read* — a transaction-start snapshot could miss a
+// competitor's commit that happened between this transaction's start
+// and its lock acquisition, producing write skew.
+func (m *Manager) CurrentSnapshotFor(self XID) *Snapshot {
+	m.mu.Lock()
+	running := make(map[XID]bool, len(m.live))
+	for x := range m.live {
+		if x != self {
+			running[x] = true
+		}
+	}
+	xmax := m.next
+	m.mu.Unlock()
+	return &Snapshot{mgr: m, self: self, xmax: xmax, running: running}
+}
+
+// Snapshot is a transaction-consistent view of the database, either the
+// view of a running transaction or a historical ("time travel") view.
+type Snapshot struct {
+	mgr     *Manager
+	self    XID // 0 when read-only or historical
+	asOf    int64
+	xmax    XID
+	running map[XID]bool
+}
+
+// Self reports the owning transaction's XID (0 for read-only views).
+func (s *Snapshot) Self() XID { return s.self }
+
+// Historical reports whether this is a time-travel snapshot.
+func (s *Snapshot) Historical() bool { return s.asOf != 0 }
+
+// AsOfTime reports the time-travel instant (0 for current views).
+func (s *Snapshot) AsOfTime() int64 { return s.asOf }
+
+// xidVisible reports whether the effects of x are included in s.
+func (s *Snapshot) xidVisible(x XID) bool {
+	if x == InvalidXID {
+		return false
+	}
+	if s.asOf != 0 {
+		if s.mgr.StatusOf(x) != StatusCommitted {
+			return false
+		}
+		return s.mgr.CommitTime(x) <= s.asOf
+	}
+	if x == s.self {
+		return true
+	}
+	if x >= s.xmax || s.running[x] {
+		return false
+	}
+	return s.mgr.StatusOf(x) == StatusCommitted
+}
+
+// CanSee decides record visibility from its xmin/xmax stamps: the
+// inserting transaction must be visible and the deleting transaction
+// (if any) must not be.
+func (s *Snapshot) CanSee(xmin, xmax XID) bool {
+	if !s.xidVisible(xmin) {
+		return false
+	}
+	if xmax == InvalidXID {
+		return true
+	}
+	return !s.xidVisible(xmax)
+}

@@ -1,0 +1,48 @@
+// Package txn implements the transaction machinery of the no-overwrite
+// storage manager: transaction identifiers, the transaction status file
+// ("By using transaction start times and a special status file which
+// indicates whether or not a transaction has committed, POSTGRES can
+// present a transaction-consistent view of the database at any moment in
+// history"), commit-time recording for fine-grained time travel,
+// MVCC snapshots, and the standard two-phase locking protocol [GRAY76]
+// that "allows concurrent access to files while preventing simultaneous
+// changes from interfering with one another".
+package txn
+
+// XID identifies a transaction. XID 0 is invalid; XID 1 is the
+// bootstrap transaction, considered committed at the beginning of time.
+type XID uint32
+
+// InvalidXID marks "no transaction" (e.g. a record's xmax before it is
+// deleted).
+const InvalidXID XID = 0
+
+// BootstrapXID stamps records created while initialising a database.
+const BootstrapXID XID = 1
+
+// Status is the 2-bit commit state recorded in the status file.
+type Status uint8
+
+// Transaction states. A transaction that was in progress at a crash
+// still reads as StatusInProgress from the log but is treated as
+// aborted once it is no longer in the live set — that is the entire
+// recovery algorithm: "Any updates that were in progress at the time of
+// the crash, but had not committed, will be rolled back."
+const (
+	StatusInProgress Status = 0
+	StatusCommitted  Status = 1
+	StatusAborted    Status = 2
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusInProgress:
+		return "in-progress"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,245 @@
+// Package typefuncs defines the example file types and classification
+// functions of the paper's Table 2 and registers them with a database:
+//
+//	ASCII document          linecount
+//	troff document          keywords, wordcount, linecount, fonts, sizes
+//	Coastal Zone Color      pixelavg, pixelcount, getpixel
+//	  Scanner satellite image
+//	Advanced Very High      snow, pixelcount, pixelavg, getpixel, getband
+//	  Resolution Radiometer
+//	  satellite image
+//
+// The "tm" type carries the Thematic Mapper scenes used by the paper's
+// snow query. Functions run inside the data manager, exactly like the
+// dynamically loaded C functions of POSTGRES.
+package typefuncs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/satgen"
+	"repro/internal/value"
+)
+
+// Type names registered by RegisterAll.
+const (
+	TypeASCII = "ASCII document"
+	TypeTroff = "troff document"
+	TypeCZCS  = "czcs" // Coastal Zone Color Scanner satellite image
+	TypeTM    = "tm"   // Thematic Mapper / AVHRR satellite image
+)
+
+// RegisterAll defines every Table 2 type and function on the database
+// behind the session. It is idempotent: re-registering on an existing
+// database only reloads the in-process implementations.
+func RegisterAll(s *core.Session) error {
+	types := []struct{ name, doc string }{
+		{TypeASCII, "plain text document"},
+		{TypeTroff, "troff typesetter source"},
+		{TypeCZCS, "Coastal Zone Color Scanner satellite image"},
+		{TypeTM, "Advanced Very High Resolution Radiometer / Thematic Mapper satellite image"},
+	}
+	for _, ti := range types {
+		if err := s.DefineType(ti.name, ti.doc); err != nil && !errors.Is(err, catalog.ErrExists) {
+			return err
+		}
+	}
+	funcs := []struct {
+		fi   catalog.FuncInfo
+		impl core.FileFunc
+	}{
+		{catalog.FuncInfo{Name: "linecount", TypeName: "", Doc: "number of newline-terminated lines"}, linecount},
+		{catalog.FuncInfo{Name: "wordcount", TypeName: TypeTroff, Doc: "words excluding troff requests"}, wordcount},
+		{catalog.FuncInfo{Name: "keywords", TypeName: TypeTroff, Doc: "keywords from .KW requests"}, keywords},
+		{catalog.FuncInfo{Name: "fonts", TypeName: TypeTroff, Doc: "fonts named in .ft requests"}, fonts},
+		{catalog.FuncInfo{Name: "sizes", TypeName: TypeTroff, Doc: "point sizes from .ps requests"}, sizes},
+		{catalog.FuncInfo{Name: "pixelcount", TypeName: "", Doc: "pixels per band"}, pixelcount},
+		{catalog.FuncInfo{Name: "pixelavg", TypeName: "", Doc: "mean pixel value across bands"}, pixelavg},
+		{catalog.FuncInfo{Name: "snow", TypeName: TypeTM, Doc: "count of snow-covered pixels"}, snow},
+	}
+	for _, f := range funcs {
+		err := s.DefineFunction(f.fi, f.impl)
+		if errors.Is(err, catalog.ErrExists) {
+			s.DB().RegisterFunc(f.fi.Name, f.impl)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterValidators installs integrity rules ("Consistency
+// Guarantees") for the image types: once registered, a transaction that
+// tries to commit a structurally invalid satellite image is aborted.
+// Validators are opt-in, separate from RegisterAll, because they change
+// write semantics.
+func RegisterValidators(s *core.Session) {
+	db := s.DB()
+	imageRule := func(c *core.FuncCtx) error {
+		data, err := c.Contents()
+		if err != nil {
+			return err
+		}
+		if _, ok := satgen.Decode(data); !ok {
+			return fmt.Errorf("not a valid %d-band satellite image", satgen.Bands)
+		}
+		return nil
+	}
+	db.RegisterValidator(TypeTM, imageRule)
+	db.RegisterValidator(TypeCZCS, imageRule)
+}
+
+func contents(c *core.FuncCtx) ([]byte, error) { return c.Contents() }
+
+func linecount(c *core.FuncCtx) (core.Value, error) {
+	data, err := contents(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Int(int64(bytes.Count(data, []byte("\n")))), nil
+}
+
+func wordcount(c *core.FuncCtx) (core.Value, error) {
+	data, err := contents(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	n := int64(0)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, ".") {
+			continue // troff request line
+		}
+		n += int64(len(strings.Fields(line)))
+	}
+	return value.Int(n), nil
+}
+
+// troffRequest extracts the arguments of every occurrence of a troff
+// request like .KW, .ft, .ps.
+func troffRequest(data []byte, req string) []string {
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, req) {
+			out = append(out, strings.Fields(strings.TrimPrefix(line, req))...)
+		}
+	}
+	return out
+}
+
+func uniqueSorted(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keywords(c *core.FuncCtx) (core.Value, error) {
+	data, err := contents(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.List(uniqueSorted(troffRequest(data, ".KW"))), nil
+}
+
+func fonts(c *core.FuncCtx) (core.Value, error) {
+	data, err := contents(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.List(uniqueSorted(troffRequest(data, ".ft"))), nil
+}
+
+func sizes(c *core.FuncCtx) (core.Value, error) {
+	data, err := contents(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.List(uniqueSorted(troffRequest(data, ".ps"))), nil
+}
+
+func decodeImage(c *core.FuncCtx) (*satgen.Image, error) {
+	data, err := contents(c)
+	if err != nil {
+		return nil, err
+	}
+	img, ok := satgen.Decode(data)
+	if !ok {
+		return nil, fmt.Errorf("typefuncs: file %d is not a valid satellite image", c.OID)
+	}
+	return img, nil
+}
+
+func pixelcount(c *core.FuncCtx) (core.Value, error) {
+	img, err := decodeImage(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Int(int64(img.PixelCount())), nil
+}
+
+func pixelavg(c *core.FuncCtx) (core.Value, error) {
+	img, err := decodeImage(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Float(img.PixelAvg()), nil
+}
+
+func snow(c *core.FuncCtx) (core.Value, error) {
+	img, err := decodeImage(c)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Int(int64(img.SnowCount())), nil
+}
+
+// GetPixel and GetBand take extra arguments, so they are exposed as Go
+// helpers rather than single-argument query functions.
+
+// GetPixel reads one pixel of a stored image.
+func GetPixel(s *core.Session, path string, band, x, y int) (byte, error) {
+	data, err := s.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	img, ok := satgen.Decode(data)
+	if !ok {
+		return 0, fmt.Errorf("typefuncs: %s is not a valid satellite image", path)
+	}
+	v, ok := img.GetPixel(band, x, y)
+	if !ok {
+		return 0, fmt.Errorf("typefuncs: pixel (%d,%d) band %d out of range", x, y, band)
+	}
+	return v, nil
+}
+
+// GetBand reads one full band of a stored image.
+func GetBand(s *core.Session, path string, band int) ([]byte, error) {
+	data, err := s.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	img, ok := satgen.Decode(data)
+	if !ok {
+		return nil, fmt.Errorf("typefuncs: %s is not a valid satellite image", path)
+	}
+	b, ok := img.GetBand(band)
+	if !ok {
+		return nil, fmt.Errorf("typefuncs: band %d out of range", band)
+	}
+	return append([]byte(nil), b...), nil
+}

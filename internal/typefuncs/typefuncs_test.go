@@ -1,0 +1,209 @@
+package typefuncs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/satgen"
+	"repro/internal/value"
+)
+
+func newSession(t *testing.T) *core.Session {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	var mu sync.Mutex
+	tick := int64(1 << 30)
+	db, err := core.Open(sw, core.Options{Buffers: 128, TimeSource: func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		tick += 1000
+		return tick
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("test")
+	if err := RegisterAll(s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func call(t *testing.T, s *core.Session, fn, path string) value.V {
+	t.Helper()
+	v, err := s.Call(fn, path)
+	if err != nil {
+		t.Fatalf("%s(%s): %v", fn, path, err)
+	}
+	return v
+}
+
+func TestRegisterAllIdempotent(t *testing.T) {
+	s := newSession(t)
+	if err := RegisterAll(s); err != nil {
+		t.Fatalf("second registration: %v", err)
+	}
+	for _, typ := range []string{TypeASCII, TypeTroff, TypeCZCS, TypeTM} {
+		if _, ok := s.DB().Catalog().Type(typ); !ok {
+			t.Errorf("type %q missing", typ)
+		}
+	}
+	for _, fn := range []string{"linecount", "wordcount", "keywords", "fonts", "sizes", "pixelcount", "pixelavg", "snow"} {
+		if _, ok := s.DB().Catalog().Function(fn); !ok {
+			t.Errorf("function %q missing", fn)
+		}
+	}
+}
+
+func TestLinecount(t *testing.T) {
+	s := newSession(t)
+	if err := s.WriteFile("/d", []byte("a\nb\nc\n"), core.CreateOpts{Type: TypeASCII}); err != nil {
+		t.Fatal(err)
+	}
+	if v := call(t, s, "linecount", "/d"); v.I != 3 {
+		t.Fatalf("linecount = %v", v)
+	}
+	// Empty file.
+	if err := s.WriteFile("/empty", nil, core.CreateOpts{Type: TypeASCII}); err != nil {
+		t.Fatal(err)
+	}
+	if v := call(t, s, "linecount", "/empty"); v.I != 0 {
+		t.Fatalf("linecount(empty) = %v", v)
+	}
+}
+
+func TestTroffFunctions(t *testing.T) {
+	s := newSession(t)
+	doc := ".KW RISC architecture\n" +
+		".ft B\n" +
+		".ps 10\n" +
+		"The quick brown fox.\n" +
+		".KW benchmarks RISC\n" +
+		".ft R\n" +
+		".ps 12\n" +
+		"Jumps over the lazy dog today.\n"
+	if err := s.WriteFile("/p.t", []byte(doc), core.CreateOpts{Type: TypeTroff}); err != nil {
+		t.Fatal(err)
+	}
+	kw := call(t, s, "keywords", "/p.t")
+	want := []string{"RISC", "architecture", "benchmarks"}
+	if len(kw.L) != len(want) {
+		t.Fatalf("keywords = %v", kw.L)
+	}
+	for i := range want {
+		if kw.L[i] != want[i] {
+			t.Fatalf("keywords = %v", kw.L)
+		}
+	}
+	if wc := call(t, s, "wordcount", "/p.t"); wc.I != 10 {
+		t.Fatalf("wordcount = %v", wc)
+	}
+	if fonts := call(t, s, "fonts", "/p.t"); len(fonts.L) != 2 || fonts.L[0] != "B" || fonts.L[1] != "R" {
+		t.Fatalf("fonts = %v", fonts.L)
+	}
+	if sizes := call(t, s, "sizes", "/p.t"); len(sizes.L) != 2 || sizes.L[0] != "10" || sizes.L[1] != "12" {
+		t.Fatalf("sizes = %v", sizes.L)
+	}
+	// Troff-only functions reject other types.
+	if err := s.WriteFile("/plain", []byte("x"), core.CreateOpts{Type: TypeASCII}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Call("keywords", "/plain"); !errors.Is(err, core.ErrTypeMismatch) {
+		t.Fatalf("keywords on ASCII: %v", err)
+	}
+}
+
+func TestImageFunctions(t *testing.T) {
+	s := newSession(t)
+	img := satgen.Generate(satgen.Params{Width: 20, Height: 10, SnowFraction: 0.4, Seed: 9})
+	if err := s.WriteFile("/scene", img.Encode(), core.CreateOpts{Type: TypeTM}); err != nil {
+		t.Fatal(err)
+	}
+	if v := call(t, s, "pixelcount", "/scene"); v.I != 200 {
+		t.Fatalf("pixelcount = %v", v)
+	}
+	if v := call(t, s, "snow", "/scene"); v.I != int64(img.SnowCount()) {
+		t.Fatalf("snow = %v, want %d", v, img.SnowCount())
+	}
+	if v := call(t, s, "pixelavg", "/scene"); v.F != img.PixelAvg() {
+		t.Fatalf("pixelavg = %v", v)
+	}
+	// Corrupt image errors rather than returning nonsense.
+	if err := s.WriteFile("/garbage", []byte("not an image"), core.CreateOpts{Type: TypeTM}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Call("snow", "/garbage"); err == nil {
+		t.Fatal("snow on garbage succeeded")
+	}
+}
+
+func TestGetPixelGetBand(t *testing.T) {
+	s := newSession(t)
+	img := satgen.Generate(satgen.Params{Width: 8, Height: 8, SnowFraction: 0.5, Seed: 2})
+	if err := s.WriteFile("/px", img.Encode(), core.CreateOpts{Type: TypeTM}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := img.GetPixel(1, 3, 4)
+	got, err := GetPixel(s, "/px", 1, 3, 4)
+	if err != nil || got != want {
+		t.Fatalf("GetPixel = %d, %v (want %d)", got, err, want)
+	}
+	if _, err := GetPixel(s, "/px", 0, 99, 0); err == nil {
+		t.Fatal("out-of-range pixel accepted")
+	}
+	band, err := GetBand(s, "/px", 2)
+	if err != nil || len(band) != 64 {
+		t.Fatalf("GetBand: %d bytes, %v", len(band), err)
+	}
+	wantBand, _ := img.GetBand(2)
+	for i := range band {
+		if band[i] != wantBand[i] {
+			t.Fatal("band contents differ")
+		}
+	}
+	if _, err := GetBand(s, "/px", 99); err == nil {
+		t.Fatal("bad band accepted")
+	}
+}
+
+func TestImageValidators(t *testing.T) {
+	s := newSession(t)
+	RegisterValidators(s)
+	img := satgen.Generate(satgen.Params{Width: 4, Height: 4, Seed: 1})
+	if err := s.WriteFile("/good.tm", img.Encode(), core.CreateOpts{Type: TypeTM}); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
+	if err := s.WriteFile("/bad.tm", []byte("junk"), core.CreateOpts{Type: TypeTM}); err == nil {
+		t.Fatal("invalid TM image committed")
+	}
+	if _, err := s.Stat("/bad.tm"); err == nil {
+		t.Fatal("rejected image exists")
+	}
+	if err := s.WriteFile("/bad.czcs", []byte("junk"), core.CreateOpts{Type: TypeCZCS}); err == nil {
+		t.Fatal("invalid CZCS image committed")
+	}
+	// Untyped files are unaffected.
+	if err := s.WriteFile("/free", []byte("junk"), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnowQueryEndToEnd(t *testing.T) {
+	// snow/pixelcount ratio recovers the planted fraction closely
+	// enough for the paper's >50% predicate.
+	s := newSession(t)
+	img := satgen.Generate(satgen.Params{Width: 50, Height: 50, SnowFraction: 0.7, Seed: 11})
+	if err := s.WriteFile("/tm1", img.Encode(), core.CreateOpts{Type: TypeTM}); err != nil {
+		t.Fatal(err)
+	}
+	snow := call(t, s, "snow", "/tm1").I
+	count := call(t, s, "pixelcount", "/tm1").I
+	ratio := float64(snow) / float64(count)
+	if ratio < 0.6 || ratio > 0.8 {
+		t.Fatalf("recovered snow ratio %.3f", ratio)
+	}
+}

@@ -1,0 +1,99 @@
+package value
+
+import "testing"
+
+func TestConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    V
+		want string
+	}{
+		{Null(), "null"},
+		{Int(-5), "-5"},
+		{Float(2.5), "2.5"},
+		{Str("abc"), "abc"},
+		{Bool(true), "true"},
+		{List([]string{"a", "b"}), "{a, b}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Fatalf("Int AsFloat = %v %v", f, ok)
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Fatalf("Float AsFloat = %v %v", f, ok)
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Fatal("string converted to float")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []V{Int(1), Float(0.1), Str("x"), Bool(true), List([]string{"a"})}
+	falsy := []V{Null(), Int(0), Float(0), Str(""), Bool(false), List(nil)}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v not truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v truthy", v)
+		}
+	}
+}
+
+func TestEqualCoercesNumerics(t *testing.T) {
+	if !Equal(Int(2), Float(2.0)) {
+		t.Fatal("2 != 2.0")
+	}
+	if Equal(Int(2), Str("2")) {
+		t.Fatal("2 == \"2\"")
+	}
+	if !Equal(Str("a"), Str("a")) || Equal(Str("a"), Str("b")) {
+		t.Fatal("string equality broken")
+	}
+	if !Equal(List([]string{"a"}), List([]string{"a"})) {
+		t.Fatal("list equality broken")
+	}
+	if Equal(List([]string{"a"}), List([]string{"a", "b"})) {
+		t.Fatal("lists of different length equal")
+	}
+	if !Equal(Null(), Null()) {
+		t.Fatal("null != null")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(Int(1), Int(2)) >= 0 {
+		t.Fatal("1 !< 2")
+	}
+	if Compare(Float(2.5), Int(2)) <= 0 {
+		t.Fatal("2.5 !> 2")
+	}
+	if Compare(Int(2), Int(2)) != 0 {
+		t.Fatal("2 != 2")
+	}
+	if Compare(Str("a"), Str("b")) >= 0 {
+		t.Fatal("a !< b")
+	}
+}
+
+func TestContains(t *testing.T) {
+	l := List([]string{"RISC", "databases"})
+	if !l.Contains("RISC") || l.Contains("CISC") {
+		t.Fatal("list contains broken")
+	}
+	s := Str("hello world")
+	if !s.Contains("lo wo") || s.Contains("xyz") {
+		t.Fatal("string contains broken")
+	}
+	if Int(1).Contains("1") {
+		t.Fatal("int contains")
+	}
+}

@@ -1,0 +1,327 @@
+package wire
+
+import (
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/rowenc"
+	"repro/internal/value"
+)
+
+func floatBits(f float64) uint64  { return math.Float64bits(f) }
+func floatFrom(u uint64) float64  { return math.Float64frombits(u) }
+func oidFrom(u uint32) device.OID { return device.OID(u) }
+
+// FD is a remote file descriptor.
+type FD int32
+
+// Whence values for PLseek, mirroring io.Seek*.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Client is the special library the paper's programs link to reach
+// Inversion remotely. All calls are synchronous request/response over
+// one TCP connection; the client is safe for concurrent use but calls
+// serialise, matching the one-transaction-per-application model.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to an Inversion server and performs the owner
+// handshake.
+func Dial(addr, owner string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	if err := writeMsg(conn, 0, []byte(owner)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, _, err := readMsg(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one request/response round trip.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMsg(c.conn, op, payload); err != nil {
+		return nil, err
+	}
+	status, resp, err := readMsg(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		return nil, &RemoteError{Msg: string(resp)}
+	}
+	return resp, nil
+}
+
+// PBegin starts a transaction.
+func (c *Client) PBegin() error { _, err := c.call(OpBegin, nil); return err }
+
+// PCommit commits the transaction.
+func (c *Client) PCommit() error { _, err := c.call(OpCommit, nil); return err }
+
+// PAbort aborts the transaction.
+func (c *Client) PAbort() error { _, err := c.call(OpAbort, nil); return err }
+
+// PCreat creates a file; mode selects type, device class and flags
+// ("the mode flag to p_open and p_creat encodes the device on which the
+// file should reside").
+func (c *Client) PCreat(path string, opts core.CreateOpts) (FD, error) {
+	resp, err := c.call(OpCreat, rowenc.NewWriter(64).
+		String(path).String(opts.Type).String(opts.Class).Uint32(opts.Flags).Done())
+	if err != nil {
+		return -1, err
+	}
+	return FD(rowenc.NewReader(resp).Uint32()), nil
+}
+
+// POpen opens a file; timestamp != 0 opens the historical version as
+// of that time (read-only).
+func (c *Client) POpen(path string, write bool, timestamp int64) (FD, error) {
+	w := uint32(0)
+	if write {
+		w = 1
+	}
+	resp, err := c.call(OpOpen, rowenc.NewWriter(32).
+		String(path).Uint32(w).Int64(timestamp).Done())
+	if err != nil {
+		return -1, err
+	}
+	return FD(rowenc.NewReader(resp).Uint32()), nil
+}
+
+// PClose closes a descriptor.
+func (c *Client) PClose(fd FD) error {
+	_, err := c.call(OpClose, rowenc.NewWriter(4).Uint32(uint32(fd)).Done())
+	return err
+}
+
+// PRead reads up to len(buf) bytes at the descriptor's position.
+func (c *Client) PRead(fd FD, buf []byte) (int, error) {
+	resp, err := c.call(OpRead, rowenc.NewWriter(8).
+		Uint32(uint32(fd)).Uint32(uint32(len(buf))).Done())
+	if err != nil {
+		return 0, err
+	}
+	n := copy(buf, resp)
+	if n == 0 && len(buf) > 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// PWrite writes buf at the descriptor's position.
+func (c *Client) PWrite(fd FD, buf []byte) (int, error) {
+	resp, err := c.call(OpWrite, rowenc.NewWriter(8+len(buf)).
+		Uint32(uint32(fd)).Bytes(buf).Done())
+	if err != nil {
+		return 0, err
+	}
+	return int(rowenc.NewReader(resp).Uint32()), nil
+}
+
+// PLseek repositions a descriptor. The paper splits the 64-bit offset
+// across two ints so clients can address 17.6 TB files; Go just uses
+// int64.
+func (c *Client) PLseek(fd FD, offset int64, whence int) (int64, error) {
+	resp, err := c.call(OpLseek, rowenc.NewWriter(16).
+		Uint32(uint32(fd)).Int64(offset).Uint32(uint32(whence)).Done())
+	if err != nil {
+		return 0, err
+	}
+	return rowenc.NewReader(resp).Int64(), nil
+}
+
+// PTruncate resizes an open file.
+func (c *Client) PTruncate(fd FD, size int64) error {
+	_, err := c.call(OpTruncate, rowenc.NewWriter(12).
+		Uint32(uint32(fd)).Int64(size).Done())
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call(OpMkdir, rowenc.NewWriter(len(path)+4).String(path).Done())
+	return err
+}
+
+// Unlink removes a file or empty directory.
+func (c *Client) Unlink(path string) error {
+	_, err := c.call(OpUnlink, rowenc.NewWriter(len(path)+4).String(path).Done())
+	return err
+}
+
+// Rename moves a file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, err := c.call(OpRename, rowenc.NewWriter(len(oldPath)+len(newPath)+8).
+		String(oldPath).String(newPath).Done())
+	return err
+}
+
+// Stat fetches attributes; timestamp != 0 asks about the past.
+func (c *Client) Stat(path string, timestamp int64) (core.FileAttr, error) {
+	resp, err := c.call(OpStat, rowenc.NewWriter(32).String(path).Int64(timestamp).Done())
+	if err != nil {
+		return core.FileAttr{}, err
+	}
+	return decodeAttrWire(resp)
+}
+
+// DirEntry is a remote directory entry.
+type DirEntry struct {
+	Name string
+	Attr core.FileAttr
+}
+
+// ReadDir lists a directory; timestamp != 0 lists it as of the past.
+func (c *Client) ReadDir(path string, timestamp int64) ([]DirEntry, error) {
+	resp, err := c.call(OpReadDir, rowenc.NewWriter(32).String(path).Int64(timestamp).Done())
+	if err != nil {
+		return nil, err
+	}
+	r := rowenc.NewReader(resp)
+	n := int(r.Uint32())
+	out := make([]DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		attrB := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		attr, err := decodeAttrWire(attrB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DirEntry{name, attr})
+	}
+	return out, nil
+}
+
+// QueryResult is a remote query result.
+type QueryResult struct {
+	Message string
+	Columns []string
+	Rows    [][]value.V
+}
+
+// Query runs a POSTQUEL statement on the server.
+func (c *Client) Query(q string) (*QueryResult, error) {
+	resp, err := c.call(OpQuery, rowenc.NewWriter(len(q)+8).String(q).Done())
+	if err != nil {
+		return nil, err
+	}
+	r := rowenc.NewReader(resp)
+	res := &QueryResult{Message: r.String()}
+	ncols := int(r.Uint32())
+	for i := 0; i < ncols; i++ {
+		res.Columns = append(res.Columns, r.String())
+	}
+	nrows := int(r.Uint32())
+	for i := 0; i < nrows; i++ {
+		row := make([]value.V, 0, ncols)
+		for j := 0; j < ncols; j++ {
+			vb := r.Bytes()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			v, err := decodeValue(rowenc.NewReader(vb))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, r.Err()
+}
+
+// Call invokes a registered function on a file.
+func (c *Client) Call(fn, path string) (value.V, error) {
+	resp, err := c.call(OpCall, rowenc.NewWriter(len(fn)+len(path)+8).
+		String(fn).String(path).Done())
+	if err != nil {
+		return value.Null(), err
+	}
+	return decodeValue(rowenc.NewReader(resp))
+}
+
+// DefineType declares a file type on the server.
+func (c *Client) DefineType(name, doc string) error {
+	_, err := c.call(OpDefineType, rowenc.NewWriter(len(name)+len(doc)+8).
+		String(name).String(doc).Done())
+	return err
+}
+
+// SetFileType assigns a file type (it must be defined on the server).
+func (c *Client) SetFileType(path, typ string) error {
+	_, err := c.call(OpSetType, rowenc.NewWriter(len(path)+len(typ)+8).
+		String(path).String(typ).Done())
+	return err
+}
+
+// Migrate moves a file to another device class.
+func (c *Client) Migrate(path, class string) error {
+	_, err := c.call(OpMigrate, rowenc.NewWriter(len(path)+len(class)+8).
+		String(path).String(class).Done())
+	return err
+}
+
+// Stats mirrors core.Stats over the wire.
+type Stats struct {
+	CacheHits, CacheMisses, CacheWritebacks int64
+	CacheCapacity                           int
+	Relations, Types, Functions             int
+	Horizon                                 uint32
+	LastCommitTime                          int64
+}
+
+// Stats fetches the server's operational counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(OpStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	r := rowenc.NewReader(resp)
+	st := Stats{
+		CacheHits:       r.Int64(),
+		CacheMisses:     r.Int64(),
+		CacheWritebacks: r.Int64(),
+		CacheCapacity:   int(r.Uint32()),
+		Relations:       int(r.Uint32()),
+		Types:           int(r.Uint32()),
+		Functions:       int(r.Uint32()),
+		Horizon:         r.Uint32(),
+		LastCommitTime:  r.Int64(),
+	}
+	return st, r.Err()
+}
+
+// Vacuum runs the vacuum cleaner on the server.
+func (c *Client) Vacuum() (relations, scanned, archived, removed int, err error) {
+	resp, err := c.call(OpVacuum, nil)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	r := rowenc.NewReader(resp)
+	return int(r.Uint32()), int(r.Uint32()), int(r.Uint32()), int(r.Uint32()), r.Err()
+}

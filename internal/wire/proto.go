@@ -1,0 +1,84 @@
+// Package wire implements the client/server access path to Inversion:
+// "The current implementation requires programmers to link a special
+// library in order to access Inversion file data" — this is that
+// library, speaking a length-prefixed binary protocol over TCP (the
+// paper's transport: "client/server communication was via TCP/IP over a
+// 10 Mbit/sec Ethernet"). The client exposes the paper's interface
+// routines: p_creat, p_open, p_close, p_read, p_write, p_lseek, and
+// p_begin/p_commit/p_abort, plus the query monitor entry point.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpBegin byte = iota + 1
+	OpCommit
+	OpAbort
+	OpCreat
+	OpOpen
+	OpClose
+	OpRead
+	OpWrite
+	OpLseek
+	OpTruncate
+	OpMkdir
+	OpUnlink
+	OpRename
+	OpReadDir
+	OpStat
+	OpQuery
+	OpCall
+	OpDefineType
+	OpMigrate
+	OpVacuum
+	OpStats
+	OpSetType
+)
+
+// Response status codes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxMessage bounds a single protocol message.
+const maxMessage = 1 << 24
+
+// writeMsg sends one framed message: u32 length | kind | payload.
+func writeMsg(w io.Writer, kind byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg receives one framed message.
+func readMsg(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxMessage {
+		return 0, nil, fmt.Errorf("wire: bad message length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// RemoteError is an error reported by the server.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "inversion server: " + e.Msg }

@@ -1,0 +1,407 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/rowenc"
+	"repro/internal/value"
+)
+
+// Server serves the Inversion protocol over TCP. Each connection gets
+// its own Session (one transaction at a time) and file descriptor
+// table.
+type Server struct {
+	db     *core.DB
+	eng    *query.Engine
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer returns a server for db.
+func NewServer(db *core.DB) *Server {
+	return &Server{db: db, eng: query.New(db), logf: log.Printf}
+}
+
+// SetLogf overrides the server's logger (tests silence it).
+func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// Listen binds the address and begins accepting connections in the
+// background. It returns the bound address (addr may use port 0).
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.logf("inversion: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// conn state: a session plus open file table.
+type connState struct {
+	sess   *core.Session
+	files  map[int32]*core.File
+	nextFD int32
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	st := &connState{files: make(map[int32]*core.File), nextFD: 3}
+	defer func() {
+		for _, f := range st.files {
+			_ = f.Close()
+		}
+		if st.sess != nil && st.sess.InTx() {
+			_ = st.sess.Abort()
+		}
+	}()
+
+	// Handshake: first message is the owner name.
+	kind, payload, err := readMsg(conn)
+	if err != nil || kind != 0 {
+		return
+	}
+	st.sess = s.db.NewSession(string(payload))
+	if err := writeMsg(conn, statusOK, nil); err != nil {
+		return
+	}
+
+	for {
+		op, payload, err := readMsg(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("inversion: conn read: %v", err)
+			}
+			return
+		}
+		resp, err := s.handle(st, op, payload)
+		if err != nil {
+			if werr := writeMsg(conn, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeMsg(conn, statusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+func encodeAttrWire(a core.FileAttr) []byte {
+	return rowenc.NewWriter(96).
+		Uint32(uint32(a.File)).String(a.Owner).String(a.Type).
+		Int64(a.Size).Int64(a.CTime).Int64(a.MTime).Int64(a.ATime).
+		Uint32(a.Flags).String(a.Class).Done()
+}
+
+func decodeAttrWire(b []byte) (core.FileAttr, error) {
+	r := rowenc.NewReader(b)
+	a := core.FileAttr{}
+	a.File = oidFrom(r.Uint32())
+	a.Owner = r.String()
+	a.Type = r.String()
+	a.Size = r.Int64()
+	a.CTime = r.Int64()
+	a.MTime = r.Int64()
+	a.ATime = r.Int64()
+	a.Flags = r.Uint32()
+	a.Class = r.String()
+	return a, r.Err()
+}
+
+func encodeValue(v value.V) []byte {
+	w := rowenc.NewWriter(32).Uint32(uint32(v.Kind)).Int64(v.I)
+	w.Uint64(floatBits(v.F)).String(v.S)
+	if v.B {
+		w.Uint32(1)
+	} else {
+		w.Uint32(0)
+	}
+	w.Uint32(uint32(len(v.L)))
+	for _, s := range v.L {
+		w.String(s)
+	}
+	return w.Done()
+}
+
+func decodeValue(r *rowenc.Reader) (value.V, error) {
+	v := value.V{Kind: value.Kind(r.Uint32())}
+	v.I = r.Int64()
+	v.F = floatFrom(r.Uint64())
+	v.S = r.String()
+	v.B = r.Uint32() != 0
+	n := int(r.Uint32())
+	for i := 0; i < n; i++ {
+		v.L = append(v.L, r.String())
+	}
+	return v, r.Err()
+}
+
+func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) {
+	r := rowenc.NewReader(payload)
+	switch op {
+	case OpBegin:
+		return nil, st.sess.Begin()
+	case OpCommit:
+		// Commit invalidates every open descriptor (their files were
+		// flushed and closed by the session).
+		err := st.sess.Commit()
+		st.files = make(map[int32]*core.File)
+		return nil, err
+	case OpAbort:
+		err := st.sess.Abort()
+		st.files = make(map[int32]*core.File)
+		return nil, err
+	case OpCreat:
+		path := r.String()
+		opts := core.CreateOpts{Type: r.String(), Class: r.String(), Flags: r.Uint32()}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		f, err := st.sess.Create(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		return st.addFD(f), nil
+	case OpOpen:
+		path := r.String()
+		write := r.Uint32() != 0
+		ts := r.Int64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		var f *core.File
+		var err error
+		switch {
+		case ts != 0:
+			// "Historical files may not be opened for writing."
+			if write {
+				return nil, core.ErrHistoricalWr
+			}
+			f, err = st.sess.OpenAsOf(path, ts)
+		case write:
+			f, err = st.sess.OpenWrite(path)
+		default:
+			f, err = st.sess.Open(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return st.addFD(f), nil
+	case OpClose:
+		fd := int32(r.Uint32())
+		f, ok := st.files[fd]
+		if !ok {
+			return nil, fmt.Errorf("wire: bad fd %d", fd)
+		}
+		delete(st.files, fd)
+		return nil, f.Close()
+	case OpRead:
+		fd := int32(r.Uint32())
+		n := int(r.Uint32())
+		f, ok := st.files[fd]
+		if !ok {
+			return nil, fmt.Errorf("wire: bad fd %d", fd)
+		}
+		if n < 0 || n > maxMessage/2 {
+			return nil, fmt.Errorf("wire: bad read size %d", n)
+		}
+		buf := make([]byte, n)
+		got, err := f.Read(buf)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		return buf[:got], nil
+	case OpWrite:
+		fd := int32(r.Uint32())
+		data := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		f, ok := st.files[fd]
+		if !ok {
+			return nil, fmt.Errorf("wire: bad fd %d", fd)
+		}
+		n, err := f.Write(data)
+		if err != nil {
+			return nil, err
+		}
+		return rowenc.NewWriter(8).Uint32(uint32(n)).Done(), nil
+	case OpLseek:
+		fd := int32(r.Uint32())
+		off := r.Int64()
+		whence := int(r.Uint32())
+		f, ok := st.files[fd]
+		if !ok {
+			return nil, fmt.Errorf("wire: bad fd %d", fd)
+		}
+		pos, err := f.Seek(off, whence)
+		if err != nil {
+			return nil, err
+		}
+		return rowenc.NewWriter(8).Int64(pos).Done(), nil
+	case OpTruncate:
+		fd := int32(r.Uint32())
+		size := r.Int64()
+		f, ok := st.files[fd]
+		if !ok {
+			return nil, fmt.Errorf("wire: bad fd %d", fd)
+		}
+		return nil, f.Truncate(size)
+	case OpMkdir:
+		return nil, st.sess.Mkdir(r.String())
+	case OpUnlink:
+		return nil, st.sess.Unlink(r.String())
+	case OpRename:
+		oldp, newp := r.String(), r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, st.sess.Rename(oldp, newp)
+	case OpStat:
+		path := r.String()
+		ts := r.Int64()
+		var attr core.FileAttr
+		var err error
+		if ts != 0 {
+			attr, err = st.sess.StatAsOf(path, ts)
+		} else {
+			attr, err = st.sess.Stat(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return encodeAttrWire(attr), nil
+	case OpReadDir:
+		path := r.String()
+		ts := r.Int64()
+		var entries []core.DirEntry
+		var err error
+		if ts != 0 {
+			entries, err = st.sess.ReadDirAsOf(path, ts)
+		} else {
+			entries, err = st.sess.ReadDir(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		w := rowenc.NewWriter(64 * len(entries)).Uint32(uint32(len(entries)))
+		for _, e := range entries {
+			w.String(e.Name)
+			w.Bytes(encodeAttrWire(e.Attr))
+		}
+		return w.Done(), nil
+	case OpQuery:
+		res, err := s.eng.Run(st.sess, r.String())
+		if err != nil {
+			return nil, err
+		}
+		w := rowenc.NewWriter(256).String(res.Message).Uint32(uint32(len(res.Columns)))
+		for _, c := range res.Columns {
+			w.String(c)
+		}
+		w.Uint32(uint32(len(res.Rows)))
+		for _, row := range res.Rows {
+			for _, v := range row {
+				w.Bytes(encodeValue(v))
+			}
+		}
+		return w.Done(), nil
+	case OpCall:
+		fn, path := r.String(), r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		v, err := st.sess.Call(fn, path)
+		if err != nil {
+			return nil, err
+		}
+		return encodeValue(v), nil
+	case OpDefineType:
+		name, doc := r.String(), r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, st.sess.DefineType(name, doc)
+	case OpMigrate:
+		path, class := r.String(), r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, st.sess.Migrate(path, class)
+	case OpVacuum:
+		stats, err := s.db.Vacuum()
+		if err != nil {
+			return nil, err
+		}
+		return rowenc.NewWriter(32).
+			Uint32(uint32(stats.Relations)).
+			Uint32(uint32(stats.Scanned)).
+			Uint32(uint32(stats.Archived)).
+			Uint32(uint32(stats.Removed)).Done(), nil
+	case OpSetType:
+		path, typ := r.String(), r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, st.sess.SetFileType(path, typ)
+	case OpStats:
+		st := s.db.Stats()
+		return rowenc.NewWriter(64).
+			Int64(st.CacheHits).Int64(st.CacheMisses).Int64(st.CacheWritebacks).
+			Uint32(uint32(st.CacheCapacity)).
+			Uint32(uint32(st.Relations)).Uint32(uint32(st.Types)).Uint32(uint32(st.Functions)).
+			Uint32(uint32(st.Horizon)).Int64(st.LastCommitTime).Done(), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown opcode %d", op)
+	}
+}
+
+func (st *connState) addFD(f *core.File) []byte {
+	fd := st.nextFD
+	st.nextFD++
+	st.files[fd] = f
+	return rowenc.NewWriter(4).Uint32(uint32(fd)).Done()
+}

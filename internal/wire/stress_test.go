@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentTCPClients hammers one server with parallel clients
+// doing transactional and autocommit work over real TCP, then verifies
+// the final state from a fresh connection.
+func TestConcurrentTCPClients(t *testing.T) {
+	_, addr, _ := startServer(t)
+	const clients = 6
+	const rounds = 15
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(addr, fmt.Sprintf("client%d", ci))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			dir := fmt.Sprintf("/c%d", ci)
+			if err := c.Mkdir(dir); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				// Transactional pair of files.
+				if err := c.PBegin(); err != nil {
+					errs <- err
+					return
+				}
+				payload := bytes.Repeat([]byte{byte(r)}, 500+r)
+				for _, name := range []string{"x", "y"} {
+					path := fmt.Sprintf("%s/%s%d", dir, name, r)
+					fd, err := c.PCreat(path, core.CreateOpts{})
+					if err != nil {
+						errs <- fmt.Errorf("client%d creat %s: %w", ci, path, err)
+						return
+					}
+					if _, err := c.PWrite(fd, payload); err != nil {
+						errs <- err
+						return
+					}
+					if err := c.PClose(fd); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if r%3 == 2 {
+					if err := c.PAbort(); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if err := c.PCommit(); err != nil {
+					errs <- err
+					return
+				}
+				// Read one back (autocommit).
+				path := fmt.Sprintf("%s/x%d", dir, r)
+				fd, err := c.POpen(path, false, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				buf := make([]byte, len(payload)+10)
+				n, err := c.PRead(fd, buf)
+				if err != nil && err != io.EOF {
+					errs <- err
+					return
+				}
+				if n != len(payload) || !bytes.Equal(buf[:n], payload) {
+					errs <- fmt.Errorf("client%d read %s: %d bytes", ci, path, n)
+					return
+				}
+				if err := c.PClose(fd); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Verify from a fresh connection: aborted rounds absent, committed
+	// rounds present with the right sizes.
+	v, err := Dial(addr, "verifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	for ci := 0; ci < clients; ci++ {
+		entries, err := v.ReadDir(fmt.Sprintf("/c%d", ci), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]int64{}
+		for _, e := range entries {
+			byName[e.Name] = e.Attr.Size
+		}
+		for r := 0; r < rounds; r++ {
+			xname, yname := fmt.Sprintf("x%d", r), fmt.Sprintf("y%d", r)
+			if r%3 == 2 {
+				if _, ok := byName[xname]; ok {
+					t.Fatalf("client %d: aborted round %d visible", ci, r)
+				}
+				continue
+			}
+			want := int64(500 + r)
+			if byName[xname] != want || byName[yname] != want {
+				t.Fatalf("client %d round %d sizes: %d/%d want %d",
+					ci, r, byName[xname], byName[yname], want)
+			}
+		}
+	}
+}
+
+// TestRemoteQueryConcurrentWithWrites runs metadata queries while other
+// connections churn, checking queries never observe torn transactions
+// (both files of a committed pair, or neither).
+func TestRemoteQueryConcurrentWithWrites(t *testing.T) {
+	_, addr, _ := startServer(t)
+	writer, err := Dial(addr, "writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	reader, err := Dial(addr, "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+
+	stop := make(chan struct{})
+	werr := make(chan error, 1)
+	go func() {
+		defer close(werr)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := writer.PBegin(); err != nil {
+				werr <- err
+				return
+			}
+			for _, n := range []string{"a", "b"} {
+				fd, err := writer.PCreat(fmt.Sprintf("/pair%d-%s", i, n), core.CreateOpts{})
+				if err != nil {
+					werr <- err
+					return
+				}
+				if err := writer.PClose(fd); err != nil {
+					werr <- err
+					return
+				}
+			}
+			if err := writer.PCommit(); err != nil {
+				werr <- err
+				return
+			}
+		}
+	}()
+
+	for q := 0; q < 30; q++ {
+		res, err := reader.Query(`retrieve (filename) where not isdir(file) sort by filename`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := map[string]int{}
+		for _, row := range res.Rows {
+			name := row[0].S
+			if i := strings.LastIndexByte(name, '-'); i > 0 {
+				pairs[name[:i]]++
+			}
+		}
+		for p, n := range pairs {
+			if n != 2 {
+				t.Fatalf("query saw torn transaction: %s has %d files", p, n)
+			}
+		}
+	}
+	close(stop)
+	if err, ok := <-werr; ok && err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+}

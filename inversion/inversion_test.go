@@ -1,0 +1,267 @@
+package inversion_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/inversion"
+)
+
+// These tests exercise the public API exactly as a downstream user
+// would, including the TCP client/server path.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	db, err := inversion.OpenMemory(inversion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("user")
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Create("/hello", inversion.CreateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadFile("/hello")
+	if err != nil || string(got) != "world" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}
+
+func TestPublicFileImplementsIOInterfaces(t *testing.T) {
+	db, err := inversion.OpenMemory(inversion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("user")
+	f, err := s.Create("/io", inversion.CreateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile-time and runtime interface checks.
+	var (
+		_ io.Reader   = f
+		_ io.Writer   = f
+		_ io.Seeker   = f
+		_ io.ReaderAt = f
+		_ io.WriterAt = f
+		_ io.Closer   = f
+	)
+	if _, err := io.Copy(f, bytes.NewReader(bytes.Repeat([]byte("go"), 1000))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, f); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2000 {
+		t.Fatalf("copied %d bytes", out.Len())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTimeTravelAndErrors(t *testing.T) {
+	db, err := inversion.OpenMemory(inversion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("user")
+	if err := s.WriteFile("/f", []byte("v1"), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Manager().LastCommitTime()
+	if err := s.WriteFile("/f", []byte("v2"), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.ReadFileAsOf("/f", before)
+	if err != nil || string(old) != "v1" {
+		t.Fatalf("asof: %q %v", old, err)
+	}
+	if _, err := s.Open("/nope"); !errors.Is(err, inversion.ErrNotExist) {
+		t.Fatalf("missing file error: %v", err)
+	}
+	if _, err := s.Create("/f", inversion.CreateOpts{}); !errors.Is(err, inversion.ErrExist) {
+		t.Fatalf("exists error: %v", err)
+	}
+	hist, err := s.OpenAsOf("/f", before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hist.Write([]byte("x")); !errors.Is(err, inversion.ErrReadOnly) {
+		t.Fatalf("historical write error: %v", err)
+	}
+	if err := hist.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicServerClient(t *testing.T) {
+	db, err := inversion.OpenMemory(inversion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inversion.RegisterStandardTypes(db.NewSession("setup")); err != nil {
+		t.Fatal(err)
+	}
+	srv := inversion.NewServer(db)
+	srv.SetLogf(func(string, ...any) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := inversion.Dial(addr, "remote-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fd, err := c.PCreat("/remote", inversion.CreateOpts{Type: inversion.TypeASCII})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PWrite(fd, []byte("one\ntwo\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PClose(fd); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Call("linecount", "/remote")
+	if err != nil || v.I != 2 {
+		t.Fatalf("remote linecount: %v %v", v, err)
+	}
+	res, err := c.Query(`retrieve (filename) where owner(file) = "remote-user"`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "remote" {
+		t.Fatalf("remote query: %+v %v", res, err)
+	}
+}
+
+func TestPublicDevicesAndMigration(t *testing.T) {
+	clock := inversion.NewClock()
+	sw := inversion.NewDeviceSwitch()
+	sw.Register(inversion.NewDiskDevice(clock))
+	sw.Register(inversion.NewJukeboxDevice(clock))
+	sw.Register(inversion.NewMemDevice(nil, 0))
+	if err := sw.SetDefault("disk"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := inversion.Open(sw, inversion.Options{DefaultClass: "disk", LogClass: "mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("admin")
+	if err := s.WriteFile("/big", make([]byte, 2<<20), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	re := inversion.NewRulesEngine(db)
+	if err := re.Add(s, inversion.Rule{
+		Name: "r", Where: "size(file) > 1000000", TargetClass: "jukebox",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := re.Apply(s)
+	if err != nil || len(moves) != 1 {
+		t.Fatalf("apply: %+v %v", moves, err)
+	}
+	if clock.Now() == 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+	data, err := s.ReadFile("/big")
+	if err != nil || len(data) != 2<<20 {
+		t.Fatalf("post-migration read: %d %v", len(data), err)
+	}
+}
+
+func TestPublicUserDefinedFunction(t *testing.T) {
+	db, err := inversion.OpenMemory(inversion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("dev")
+	if err := s.DefineType("csv", "comma separated"); err != nil {
+		t.Fatal(err)
+	}
+	err = s.DefineFunction(inversion.FuncInfo{Name: "cols", TypeName: "csv"},
+		func(c *inversion.FuncCtx) (inversion.Value, error) {
+			data, err := c.Contents()
+			if err != nil {
+				return inversion.NullValue(), err
+			}
+			first := data
+			if i := bytes.IndexByte(data, '\n'); i >= 0 {
+				first = data[:i]
+			}
+			return inversion.IntValue(int64(bytes.Count(first, []byte(",")) + 1)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/t.csv", []byte("a,b,c\n1,2,3\n"), inversion.CreateOpts{Type: "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Call("cols", "/t.csv")
+	if err != nil || v.I != 3 {
+		t.Fatalf("cols = %v %v", v, err)
+	}
+	eng := inversion.NewQueryEngine(db)
+	res, err := eng.Run(s, `retrieve (filename) where cols(file) = 3`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query by UDF: %+v %v", res, err)
+	}
+}
+
+func TestPublicSatelliteHelpers(t *testing.T) {
+	db, err := inversion.OpenMemory(inversion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("sci")
+	if err := inversion.RegisterStandardTypes(s); err != nil {
+		t.Fatal(err)
+	}
+	img := inversion.GenerateScene(inversion.SatParams{Width: 10, Height: 10, SnowFraction: 0.5, Seed: 1})
+	if err := s.WriteFile("/sc", img.Encode(), inversion.CreateOpts{Type: inversion.TypeTM}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inversion.GetPixel(s, "/sc", 0, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.ReadFile("/sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, ok := inversion.DecodeScene(back)
+	if !ok || dec.SnowCount() != img.SnowCount() {
+		t.Fatal("scene round trip failed")
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if inversion.ChunkSize >= 8192 || inversion.ChunkSize < 8000 {
+		t.Fatalf("ChunkSize = %d, want slightly smaller than 8K", inversion.ChunkSize)
+	}
+	// The paper's 17.6 TB figure (decimal terabytes: 2^31 chunks of
+	// slightly under 8 KB).
+	tb := float64(inversion.MaxFileSize) / 1e12
+	if tb < 17 || tb > 18 {
+		t.Fatalf("MaxFileSize = %.1f TB, want ~17.6", tb)
+	}
+}

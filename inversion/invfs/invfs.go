@@ -1,0 +1,233 @@
+// Package invfs adapts an Inversion session to Go's io/fs interfaces,
+// so standard tooling — fs.WalkDir, io/fs-based servers, fstest — works
+// directly against the database-backed file system. Because Inversion
+// snapshots are first-class, the adapter can also present the file
+// system as of any past instant: FSAsOf returns an fs.FS view of
+// history.
+package invfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FS presents a session's current view as an fs.FS. It implements
+// fs.FS, fs.ReadDirFS, and fs.StatFS.
+type FS struct {
+	s    *core.Session
+	asof int64
+}
+
+// New returns an fs.FS over the session's current state.
+func New(s *core.Session) *FS { return &FS{s: s} }
+
+// NewAsOf returns an fs.FS over the file system as it was at time asof
+// (nanoseconds, as recorded by commit timestamps).
+func NewAsOf(s *core.Session, asof int64) *FS { return &FS{s: s, asof: asof} }
+
+// abs converts an io/fs name (relative, "." for root) to an Inversion
+// absolute path.
+func abs(name string) (string, error) {
+	if !fs.ValidPath(name) {
+		return "", fs.ErrInvalid
+	}
+	if name == "." {
+		return "/", nil
+	}
+	return "/" + name, nil
+}
+
+func mapErr(op, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrNotExist) {
+		err = fs.ErrNotExist
+	}
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// Open implements fs.FS.
+func (f *FS) Open(name string) (fs.File, error) {
+	p, err := abs(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	attr, err := f.stat(p)
+	if err != nil {
+		return nil, mapErr("open", name, err)
+	}
+	base := path.Base(name)
+	if name == "." {
+		base = "."
+	}
+	if attr.IsDir() {
+		entries, err := f.readDir(p)
+		if err != nil {
+			return nil, mapErr("open", name, err)
+		}
+		return &dirFile{info: info{base, attr}, entries: entries}, nil
+	}
+	var fh *core.File
+	if f.asof != 0 {
+		fh, err = f.s.OpenAsOf(p, f.asof)
+	} else {
+		fh, err = f.s.Open(p)
+	}
+	if err != nil {
+		return nil, mapErr("open", name, err)
+	}
+	return &file{info: info{base, attr}, f: fh}, nil
+}
+
+func (f *FS) stat(p string) (core.FileAttr, error) {
+	if f.asof != 0 {
+		return f.s.StatAsOf(p, f.asof)
+	}
+	return f.s.Stat(p)
+}
+
+func (f *FS) readDir(p string) ([]core.DirEntry, error) {
+	if f.asof != 0 {
+		return f.s.ReadDirAsOf(p, f.asof)
+	}
+	return f.s.ReadDir(p)
+}
+
+// Stat implements fs.StatFS.
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	p, err := abs(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	attr, err := f.stat(p)
+	if err != nil {
+		return nil, mapErr("stat", name, err)
+	}
+	base := path.Base(name)
+	if name == "." {
+		base = "."
+	}
+	return info{base, attr}, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	p, err := abs(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	entries, err := f.readDir(p)
+	if err != nil {
+		return nil, mapErr("readdir", name, err)
+	}
+	out := make([]fs.DirEntry, len(entries))
+	for i, e := range entries {
+		out[i] = dirEntry{info{e.Name, e.Attr}}
+	}
+	return out, nil
+}
+
+// info adapts FileAttr to fs.FileInfo.
+type info struct {
+	name string
+	attr core.FileAttr
+}
+
+func (i info) Name() string { return i.name }
+func (i info) Size() int64  { return i.attr.Size }
+func (i info) Mode() fs.FileMode {
+	if i.attr.IsDir() {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i info) ModTime() time.Time { return time.Unix(0, i.attr.MTime) }
+func (i info) IsDir() bool        { return i.attr.IsDir() }
+func (i info) Sys() any           { return i.attr }
+
+// dirEntry adapts a directory row to fs.DirEntry.
+type dirEntry struct{ i info }
+
+func (d dirEntry) Name() string               { return d.i.name }
+func (d dirEntry) IsDir() bool                { return d.i.IsDir() }
+func (d dirEntry) Type() fs.FileMode          { return d.i.Mode().Type() }
+func (d dirEntry) Info() (fs.FileInfo, error) { return d.i, nil }
+
+// file adapts an open Inversion file to fs.File.
+type file struct {
+	info info
+	f    *core.File
+}
+
+func (f *file) Stat() (fs.FileInfo, error) { return f.info, nil }
+func (f *file) Read(p []byte) (int, error) { return f.f.Read(p) }
+func (f *file) Close() error {
+	err := f.f.Close()
+	if err == core.ErrClosed {
+		return fs.ErrClosed
+	}
+	return err
+}
+
+// Seek lets io.Seeker consumers (http.ServeContent and friends) work.
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+// ReadAt supports io.ReaderAt consumers.
+func (f *file) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+// dirFile is an opened directory: readable only via ReadDir.
+type dirFile struct {
+	info    info
+	entries []core.DirEntry
+	pos     int
+}
+
+func (d *dirFile) Stat() (fs.FileInfo, error) { return d.info, nil }
+func (d *dirFile) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.info.name, Err: fs.ErrInvalid}
+}
+func (d *dirFile) Close() error { return nil }
+
+// ReadDir implements fs.ReadDirFile with the usual n semantics.
+func (d *dirFile) ReadDir(n int) ([]fs.DirEntry, error) {
+	remaining := len(d.entries) - d.pos
+	if n <= 0 {
+		out := make([]fs.DirEntry, 0, remaining)
+		for ; d.pos < len(d.entries); d.pos++ {
+			e := d.entries[d.pos]
+			out = append(out, dirEntry{info{e.Name, e.Attr}})
+		}
+		return out, nil
+	}
+	if remaining == 0 {
+		return nil, io.EOF
+	}
+	if n > remaining {
+		n = remaining
+	}
+	out := make([]fs.DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := d.entries[d.pos]
+		out = append(out, dirEntry{info{e.Name, e.Attr}})
+		d.pos++
+	}
+	return out, nil
+}
+
+// Interface conformance.
+var (
+	_ fs.FS          = (*FS)(nil)
+	_ fs.StatFS      = (*FS)(nil)
+	_ fs.ReadDirFS   = (*FS)(nil)
+	_ fs.ReadDirFile = (*dirFile)(nil)
+	_ io.ReaderAt    = (*file)(nil)
+	_ io.Seeker      = (*file)(nil)
+)

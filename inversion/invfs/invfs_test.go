@@ -1,0 +1,215 @@
+package invfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+
+	"repro/inversion"
+)
+
+func newFS(t *testing.T) (*inversion.DB, *inversion.Session, *FS) {
+	t.Helper()
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession("fsuser")
+	return db, s, New(s)
+}
+
+func TestFSTestSuite(t *testing.T) {
+	_, s, fsys := newFS(t)
+	files := map[string][]byte{
+		"/hello.txt":        []byte("hello"),
+		"/empty":            nil,
+		"/dir/a.txt":        []byte("aaa"),
+		"/dir/sub/deep.bin": bytes.Repeat([]byte{1, 2, 3}, 5000),
+	}
+	if err := s.MkdirAll("/dir/sub"); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for p, data := range files {
+		if err := s.WriteFile(p, data, inversion.CreateOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, p[1:])
+	}
+	// The stdlib's own conformance suite.
+	if err := fstest.TestFS(fsys, names...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkDir(t *testing.T) {
+	_, s, fsys := newFS(t)
+	if err := s.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a/1", "/a/b/2", "/a/b/c/3"} {
+		if err := s.WriteFile(p, []byte("x"), inversion.CreateOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	err := fs.WalkDir(fsys, ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		visited = append(visited, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{".", "a", "a/1", "a/b", "a/b/2", "a/b/c", "a/b/c/3"}
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited = %v", visited)
+		}
+	}
+}
+
+func TestReadFileAndStat(t *testing.T) {
+	_, s, fsys := newFS(t)
+	if err := s.WriteFile("/data", []byte("contents"), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(fsys, "data")
+	if err != nil || string(got) != "contents" {
+		t.Fatalf("ReadFile: %q %v", got, err)
+	}
+	fi, err := fs.Stat(fsys, "data")
+	if err != nil || fi.Size() != 8 || fi.IsDir() {
+		t.Fatalf("Stat: %+v %v", fi, err)
+	}
+	if fi.Mode().IsDir() {
+		t.Fatal("file mode is dir")
+	}
+	di, err := fs.Stat(fsys, ".")
+	if err != nil || !di.IsDir() {
+		t.Fatalf("root stat: %+v %v", di, err)
+	}
+}
+
+func TestErrNotExist(t *testing.T) {
+	_, _, fsys := newFS(t)
+	_, err := fsys.Open("missing")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	var pe *fs.PathError
+	if !errors.As(err, &pe) || pe.Path != "missing" {
+		t.Fatalf("not a PathError: %v", err)
+	}
+	if _, err := fsys.Open("/absolute"); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("absolute name: %v", err)
+	}
+}
+
+func TestSeekAndReadAt(t *testing.T) {
+	_, s, fsys := newFS(t)
+	data := bytes.Repeat([]byte("0123456789"), 2000)
+	if err := s.WriteFile("/seekable", data, inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open("seekable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sk, ok := f.(io.Seeker)
+	if !ok {
+		t.Fatal("file not seekable")
+	}
+	if _, err := sk.Seek(10000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "0123456789" {
+		t.Fatalf("after seek read %q", buf)
+	}
+	ra := f.(io.ReaderAt)
+	if _, err := ra.ReadAt(buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "5678901234" {
+		t.Fatalf("ReadAt %q", buf)
+	}
+}
+
+func TestHistoricalFS(t *testing.T) {
+	db, s, _ := newFS(t)
+	if err := s.WriteFile("/f", []byte("old"), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Manager().LastCommitTime()
+	if err := s.WriteFile("/f", []byte("new and longer"), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/added-later", []byte("x"), inversion.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	now := New(s)
+	then := NewAsOf(s, before)
+
+	got, err := fs.ReadFile(now, "f")
+	if err != nil || string(got) != "new and longer" {
+		t.Fatalf("now: %q %v", got, err)
+	}
+	got, err = fs.ReadFile(then, "f")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("then: %q %v", got, err)
+	}
+	if _, err := then.Open("added-later"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("future file visible in the past: %v", err)
+	}
+	entries, err := fs.ReadDir(then, ".")
+	if err != nil || len(entries) != 1 || entries[0].Name() != "f" {
+		t.Fatalf("historical ReadDir: %v %v", entries, err)
+	}
+}
+
+func TestDirReadChunked(t *testing.T) {
+	_, s, fsys := newFS(t)
+	for _, n := range []string{"/a", "/b", "/c"} {
+		if err := s.WriteFile(n, []byte("x"), inversion.CreateOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := fsys.Open(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, ok := f.(fs.ReadDirFile)
+	if !ok {
+		t.Fatal("root not a ReadDirFile")
+	}
+	first, err := d.ReadDir(2)
+	if err != nil || len(first) != 2 {
+		t.Fatalf("first batch: %v %v", first, err)
+	}
+	second, err := d.ReadDir(2)
+	if err != nil || len(second) != 1 {
+		t.Fatalf("second batch: %v %v", second, err)
+	}
+	if _, err := d.ReadDir(1); err != io.EOF {
+		t.Fatalf("exhausted dir: %v", err)
+	}
+	// Reading bytes from a directory fails.
+	if _, err := f.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read from directory succeeded")
+	}
+}

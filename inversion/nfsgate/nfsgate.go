@@ -1,0 +1,213 @@
+// Package nfsgate implements the NFS-style access path the paper
+// planned: "In the near term, we plan to provide NFS access to
+// Inversion. … The NFS protocol makes every operation an atomic
+// transaction, which severely limits the utility of transactions in
+// Inversion. We are most likely to follow the protocol specification,
+// and to provide no multi-operation transaction protection for
+// Inversion files accessed via NFS."
+//
+// Accordingly the Gateway is stateless: every operation is its own
+// committed transaction, file handles are just paths, and there is no
+// Begin/Commit surface. The paper also planned "new fcntl() support to
+// provide access to time travel and very large files"; the *AsOf
+// variants are that hook.
+package nfsgate
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Attr is the subset of attributes an NFS GETATTR returns.
+type Attr struct {
+	Size  int64
+	IsDir bool
+	Owner string
+	Type  string
+	CTime int64
+	MTime int64
+}
+
+// Entry is one READDIR row.
+type Entry struct {
+	Name string
+	Attr Attr
+}
+
+// Gateway serves stateless, per-operation-atomic access to a database.
+// It is safe for concurrent use: every call runs its own transaction.
+type Gateway struct {
+	db    *core.DB
+	owner string
+}
+
+// New returns a gateway acting as the given owner (NFS servers map
+// client credentials; this simulation uses one identity).
+func New(db *core.DB, owner string) *Gateway {
+	return &Gateway{db: db, owner: owner}
+}
+
+// session builds a throwaway session; gateways keep no client state.
+func (g *Gateway) session() *core.Session { return g.db.NewSession(g.owner) }
+
+func attrOf(a core.FileAttr) Attr {
+	return Attr{
+		Size: a.Size, IsDir: a.IsDir(), Owner: a.Owner, Type: a.Type,
+		CTime: a.CTime, MTime: a.MTime,
+	}
+}
+
+// GetAttr is NFS GETATTR.
+func (g *Gateway) GetAttr(path string) (Attr, error) {
+	a, err := g.session().Stat(path)
+	if err != nil {
+		return Attr{}, err
+	}
+	return attrOf(a), nil
+}
+
+// GetAttrAsOf is the time-travel fcntl: attributes as of a past
+// instant.
+func (g *Gateway) GetAttrAsOf(path string, asof int64) (Attr, error) {
+	a, err := g.session().StatAsOf(path, asof)
+	if err != nil {
+		return Attr{}, err
+	}
+	return attrOf(a), nil
+}
+
+// Lookup resolves a path, NFS LOOKUP-style (existence + attributes).
+func (g *Gateway) Lookup(path string) (Attr, error) { return g.GetAttr(path) }
+
+// Create makes an empty file (exclusive). One transaction.
+func (g *Gateway) Create(path string) error {
+	s := g.session()
+	f, err := s.Create(path, core.CreateOpts{})
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Mkdir is NFS MKDIR.
+func (g *Gateway) Mkdir(path string) error { return g.session().Mkdir(path) }
+
+// Remove is NFS REMOVE / RMDIR.
+func (g *Gateway) Remove(path string) error { return g.session().Unlink(path) }
+
+// Rename is NFS RENAME.
+func (g *Gateway) Rename(oldPath, newPath string) error {
+	return g.session().Rename(oldPath, newPath)
+}
+
+// Read is NFS READ: up to n bytes at off. Each call is one (read-only)
+// transaction; io.EOF is reported past end of file.
+func (g *Gateway) Read(path string, off int64, n int) ([]byte, error) {
+	s := g.session()
+	f, err := s.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	got, rerr := f.ReadAt(buf, off)
+	cerr := f.Close()
+	if rerr != nil && rerr != io.EOF {
+		return nil, errors.Join(rerr, cerr)
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	if got == 0 && n > 0 {
+		return nil, io.EOF
+	}
+	return buf[:got], nil
+}
+
+// ReadAsOf is Read against a historical snapshot (the time-travel
+// fcntl applied to data).
+func (g *Gateway) ReadAsOf(path string, off int64, n int, asof int64) ([]byte, error) {
+	f, err := g.db.OpenAsOf(path, asof)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	got, rerr := f.ReadAt(buf, off)
+	cerr := f.Close()
+	if rerr != nil && rerr != io.EOF {
+		return nil, errors.Join(rerr, cerr)
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	if got == 0 && n > 0 {
+		return nil, io.EOF
+	}
+	return buf[:got], nil
+}
+
+// Write is NFS WRITE: data at off, committed before the reply — "NFS
+// must force every write to stable storage synchronously". The commit's
+// page forcing is exactly that synchronous force.
+func (g *Gateway) Write(path string, off int64, data []byte) error {
+	s := g.session()
+	f, err := s.OpenWrite(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		ferr := f.Close()
+		return errors.Join(err, ignoreClosed(ferr))
+	}
+	return f.Close()
+}
+
+// Truncate is NFS SETATTR with a size.
+func (g *Gateway) Truncate(path string, size int64) error {
+	s := g.session()
+	f, err := s.OpenWrite(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		ferr := f.Close()
+		return errors.Join(err, ignoreClosed(ferr))
+	}
+	return f.Close()
+}
+
+// ReadDir is NFS READDIRPLUS (names with attributes).
+func (g *Gateway) ReadDir(path string) ([]Entry, error) {
+	entries, err := g.session().ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, len(entries))
+	for i, e := range entries {
+		out[i] = Entry{Name: e.Name, Attr: attrOf(e.Attr)}
+	}
+	return out, nil
+}
+
+// ReadDirAsOf lists a directory as of a past instant; this is how an
+// NFS server "could manage time travel by extending the file system
+// namespace and passing dates along to the database system" [ROOM92].
+func (g *Gateway) ReadDirAsOf(path string, asof int64) ([]Entry, error) {
+	entries, err := g.session().ReadDirAsOf(path, asof)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, len(entries))
+	for i, e := range entries {
+		out[i] = Entry{Name: e.Name, Attr: attrOf(e.Attr)}
+	}
+	return out, nil
+}
+
+func ignoreClosed(err error) error {
+	if errors.Is(err, core.ErrClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,181 @@
+package nfsgate
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/inversion"
+)
+
+func newGateway(t *testing.T) (*inversion.DB, *Gateway) {
+	t.Helper()
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, New(db, "nfs-client")
+}
+
+func TestStatelessFileLifecycle(t *testing.T) {
+	_, g := newGateway(t)
+	if err := g.Mkdir("/export"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Create("/export/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write("/export/f", 0, []byte("written over nfs")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Read("/export/f", 8, 8)
+	if err != nil || string(got) != "over nfs" {
+		t.Fatalf("read: %q %v", got, err)
+	}
+	a, err := g.GetAttr("/export/f")
+	if err != nil || a.Size != 16 || a.IsDir {
+		t.Fatalf("attr: %+v %v", a, err)
+	}
+	entries, err := g.ReadDir("/export")
+	if err != nil || len(entries) != 1 || entries[0].Name != "f" {
+		t.Fatalf("readdir: %+v %v", entries, err)
+	}
+	if err := g.Rename("/export/f", "/export/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Truncate("/export/g", 7); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := g.GetAttr("/export/g"); a.Size != 7 {
+		t.Fatalf("size after truncate: %d", a.Size)
+	}
+	if err := g.Remove("/export/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Lookup("/export/g"); !errors.Is(err, inversion.ErrNotExist) {
+		t.Fatalf("lookup removed: %v", err)
+	}
+}
+
+func TestEveryWriteIsAtomicAndDurable(t *testing.T) {
+	// Every gateway write commits before returning: a crash right
+	// after a Write reply must preserve it (the stateless-server
+	// guarantee NFS requires).
+	db, g := newGateway(t)
+	if err := g.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write("/f", 0, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	db2, err := db.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(db2, "nfs-client").Read("/f", 0, 10)
+	if err != nil || string(got) != "stable" {
+		t.Fatalf("after crash: %q %v", got, err)
+	}
+}
+
+func TestTimeTravelFcntl(t *testing.T) {
+	db, g := newGateway(t)
+	if err := g.Create("/tt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write("/tt", 0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Manager().LastCommitTime()
+	if err := g.Truncate("/tt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write("/tt", 0, []byte("second, longer")); err != nil {
+		t.Fatal(err)
+	}
+	old, err := g.ReadAsOf("/tt", 0, 16, before)
+	if err != nil || string(old) != "first" {
+		t.Fatalf("ReadAsOf: %q %v", old, err)
+	}
+	a, err := g.GetAttrAsOf("/tt", before)
+	if err != nil || a.Size != 5 {
+		t.Fatalf("GetAttrAsOf: %+v %v", a, err)
+	}
+	// Historical directory listing.
+	if err := g.Create("/later"); err != nil {
+		t.Fatal(err)
+	}
+	then, err := g.ReadDirAsOf("/", before)
+	if err != nil || len(then) != 1 || then[0].Name != "tt" {
+		t.Fatalf("ReadDirAsOf: %+v %v", then, err)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	_, g := newGateway(t)
+	if err := g.Create("/short"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write("/short", 0, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Read("/short", 100, 10); err != io.EOF {
+		t.Fatalf("read past EOF: %v", err)
+	}
+	// Short read at the boundary.
+	got, err := g.Read("/short", 1, 10)
+	if err != nil || string(got) != "b" {
+		t.Fatalf("boundary read: %q %v", got, err)
+	}
+}
+
+func TestConcurrentStatelessClients(t *testing.T) {
+	// Many goroutines acting as independent NFS clients; per-op
+	// transactions must serialise cleanly under 2PL with no deadlocks
+	// (single-lock operations cannot cycle).
+	_, g := newGateway(t)
+	if err := g.Mkdir("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			path := []byte{'/', 's', 'h', 'a', 'r', 'e', 'd', '/', byte('a' + c)}
+			p := string(path)
+			if err := g.Create(p); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if err := g.Write(p, int64(i*10), bytes.Repeat([]byte{byte(c)}, 10)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := g.Read(p, 0, 10); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	entries, err := g.ReadDir("/shared")
+	if err != nil || len(entries) != 8 {
+		t.Fatalf("final listing: %d entries, %v", len(entries), err)
+	}
+	for _, e := range entries {
+		if e.Attr.Size != 200 {
+			t.Fatalf("%s size = %d", e.Name, e.Attr.Size)
+		}
+	}
+}
