@@ -96,6 +96,11 @@ func (p *Pool) Stats() (hits, misses, writebacks int64) {
 // evictLocked makes room for one more frame, writing back a dirty
 // victim. Called with p.mu held. If every frame is pinned the pool
 // overcommits rather than deadlocking.
+//
+// The victim is written back while still cached: if the writeback
+// fails the frame stays in the map and the LRU (still dirty) and the
+// error is returned, so the only copy of a dirty page is never
+// discarded on a failing device.
 func (p *Pool) evictLocked() error {
 	for len(p.frames) >= p.capacity {
 		el := p.lru.Front()
@@ -103,18 +108,19 @@ func (p *Pool) evictLocked() error {
 			return nil // all pinned: overcommit
 		}
 		f := el.Value.(*Frame)
-		p.lru.Remove(el)
-		f.el = nil
-		delete(p.frames, f.Key)
 		if f.dirty {
-			p.writebacks++
 			f.Lock()
 			err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 			f.Unlock()
 			if err != nil {
 				return fmt.Errorf("buffer: writeback %v: %w", f.Key, err)
 			}
+			p.writebacks++
+			f.dirty = false
 		}
+		p.lru.Remove(el)
+		f.el = nil
+		delete(p.frames, f.Key)
 	}
 	return nil
 }
@@ -170,9 +176,14 @@ func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
 }
 
 // Release unpins a frame, marking it dirty if the caller modified it.
+// Releasing a frame that is not pinned panics: a double-Release would
+// otherwise silently corrupt the pin counts and LRU invariants.
 func (p *Pool) Release(f *Frame, dirty bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Release of unpinned frame %v (pins=%d)", f.Key, f.pins))
+	}
 	if dirty {
 		f.dirty = true
 	}
@@ -214,13 +225,16 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		return a.Page < b.Page
 	})
 	for _, f := range dirty {
-		p.writebacks++
 		f.Lock()
 		err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 		f.Unlock()
 		if err != nil {
-			return err
+			// The failed frame (and everything after it) stays dirty,
+			// so a retry after the device heals flushes exactly the
+			// pages that never made it out.
+			return fmt.Errorf("buffer: flush %v: %w", f.Key, err)
 		}
+		p.writebacks++
 		f.dirty = false
 	}
 	return nil

@@ -1,0 +1,198 @@
+package buffer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// newFaultyPool builds a pool over a Faulty-wrapped switch with one
+// relation of n backend pages.
+func newFaultyPool(t *testing.T, capacity, n int) (*Pool, *device.Faulty) {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sw.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faulty := device.NewFaulty(sw, 1)
+	return NewPool(faulty, capacity), faulty
+}
+
+// dirtyPage loads page pn, stamps its first byte, and releases it
+// dirty.
+func dirtyPage(t *testing.T, p *Pool, pn uint32, b byte) {
+	t.Helper()
+	f, err := p.Get(1, pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	f.Data[0] = b
+	f.Unlock()
+	p.Release(f, true)
+}
+
+func readByte(t *testing.T, p *Pool, pn uint32) byte {
+	t.Helper()
+	f, err := p.Get(1, pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Lock()
+	b := f.Data[0]
+	f.Unlock()
+	p.Release(f, false)
+	return b
+}
+
+// TestEvictionWritebackFailureKeepsDirtyPage is the regression the
+// seed code fails: a victim whose writeback errors must stay cached
+// (still dirty), not be discarded as the only copy of the data.
+func TestEvictionWritebackFailureKeepsDirtyPage(t *testing.T) {
+	p, faulty := newFaultyPool(t, 2, 3)
+	dirtyPage(t, p, 0, 0xA1)
+	dirtyPage(t, p, 1, 0xA2)
+
+	// Page 0 is the LRU victim; its writeback fails.
+	faulty.FailIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return page == 0 }, nil)
+	if _, err := p.Get(1, 2); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("Get over failing eviction: %v", err)
+	}
+
+	// The device heals; the dirty page must still be in the cache and
+	// must reach the backend on the next flush.
+	faulty.Clear()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Crash() // drop the cache: the next read comes from the backend
+	if got := readByte(t, p, 0); got != 0xA1 {
+		t.Fatalf("dirty page lost by failed eviction: %#x", got)
+	}
+}
+
+// TestFlushAllPartialFailure checks the accounting contract: a flush
+// that dies mid-way counts only the successful writebacks and leaves
+// the unflushed frames dirty, so a retry completes the job.
+func TestFlushAllPartialFailure(t *testing.T) {
+	p, faulty := newFaultyPool(t, 8, 4)
+	for pn := uint32(0); pn < 4; pn++ {
+		dirtyPage(t, p, pn, byte(0xB0+pn))
+	}
+	_, _, wbBefore := p.Stats()
+
+	// Writes go out in (rel, page) order; the third fails.
+	faulty.FailNth(device.FaultWrite, 3, nil)
+	err := p.FlushAll()
+	if !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if !strings.Contains(err.Error(), "buffer: flush") {
+		t.Fatalf("error lacks flush context: %v", err)
+	}
+	_, _, wb := p.Stats()
+	if wb-wbBefore != 2 {
+		t.Fatalf("writebacks after partial flush = %d, want 2 (failed write must not count)", wb-wbBefore)
+	}
+
+	// Retry flushes the remaining dirty frames — no more, no fewer.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, wb = p.Stats()
+	if wb-wbBefore != 4 {
+		t.Fatalf("writebacks after retry = %d, want 4", wb-wbBefore)
+	}
+	p.Crash()
+	for pn := uint32(0); pn < 4; pn++ {
+		if got := readByte(t, p, pn); got != byte(0xB0+pn) {
+			t.Fatalf("page %d lost in partial flush: %#x", pn, got)
+		}
+	}
+}
+
+// TestFlushRelFailureLeavesFrameDirty drives the same contract through
+// the per-relation flush path.
+func TestFlushRelFailureLeavesFrameDirty(t *testing.T) {
+	p, faulty := newFaultyPool(t, 8, 1)
+	dirtyPage(t, p, 0, 0xC1)
+	faulty.FailNth(device.FaultWrite, 1, nil)
+	if err := p.FlushRel(1); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("FlushRel: %v", err)
+	}
+	if err := p.FlushRel(1); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	p.Crash()
+	if got := readByte(t, p, 0); got != 0xC1 {
+		t.Fatalf("page lost: %#x", got)
+	}
+}
+
+// TestGetReadFailureDoesNotCachePartialFrame: a failed miss must not
+// leave a half-initialised frame behind.
+func TestGetReadFailureDoesNotCachePartialFrame(t *testing.T) {
+	p, faulty := newFaultyPool(t, 4, 1)
+	faulty.FailNth(device.FaultRead, 1, nil)
+	if _, err := p.Get(1, 0); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("Get: %v", err)
+	}
+	// The retry must be a fresh, successful read, not a cached husk.
+	f, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	p.Release(f, false)
+	hits, misses, _ := p.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}
+
+// TestNewPageExtendFailure: a failing Extend surfaces cleanly and the
+// pool keeps working.
+func TestNewPageExtendFailure(t *testing.T) {
+	p, faulty := newFaultyPool(t, 4, 0)
+	faulty.FailNth(device.FaultExtend, 1, nil)
+	if _, _, err := p.NewPage(1); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("NewPage: %v", err)
+	}
+	f, pn, err := p.NewPage(1)
+	if err != nil {
+		t.Fatalf("NewPage after heal: %v", err)
+	}
+	if pn != 0 {
+		t.Fatalf("first successful page = %d", pn)
+	}
+	p.Release(f, true)
+}
+
+// TestReleaseUnderflowPanics: double-Release is a caller bug the pool
+// must refuse to absorb silently.
+func TestReleaseUnderflowPanics(t *testing.T) {
+	p, _ := newFaultyPool(t, 4, 1)
+	f, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f, false)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Release did not panic")
+		}
+		if !strings.Contains(r.(string), "unpinned frame") {
+			t.Fatalf("panic message: %v", r)
+		}
+	}()
+	p.Release(f, false)
+}

@@ -1,0 +1,232 @@
+package device
+
+import (
+	"errors"
+	"testing"
+)
+
+// newFaultyMem returns a Faulty over a Mem with one relation of n
+// pages.
+func newFaultyMem(t *testing.T, rel OID, n int, seed int64) *Faulty {
+	t.Helper()
+	m := NewMem(nil, 0)
+	if err := m.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := m.Extend(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewFaulty(m, seed)
+}
+
+func TestFaultyTransparent(t *testing.T) {
+	f := newFaultyMem(t, 1, 2, 1)
+	buf := make([]byte, PageSize)
+	buf[0] = 0xAB
+	if err := f.WritePage(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := f.ReadPage(1, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Fatalf("round trip lost data: %#x", got[0])
+	}
+	if n, err := f.NPages(1); err != nil || n != 2 {
+		t.Fatalf("NPages = %d, %v", n, err)
+	}
+}
+
+func TestFaultyFailNth(t *testing.T) {
+	f := newFaultyMem(t, 1, 1, 1)
+	f.FailNth(FaultRead, 3, nil)
+	buf := make([]byte, PageSize)
+	for i := 1; i <= 5; i++ {
+		err := f.ReadPage(1, 0, buf)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read %d: want injected fault, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if f.Trips() != 1 {
+		t.Fatalf("trips = %d", f.Trips())
+	}
+}
+
+func TestFaultyFailEvery(t *testing.T) {
+	f := newFaultyMem(t, 1, 1, 1)
+	f.FailEvery(FaultWrite, 2, nil)
+	buf := make([]byte, PageSize)
+	var failed []int
+	for i := 1; i <= 6; i++ {
+		if err := f.WritePage(1, 0, buf); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 3 || failed[0] != 2 || failed[1] != 4 || failed[2] != 6 {
+		t.Fatalf("failed writes = %v, want [2 4 6]", failed)
+	}
+}
+
+func TestFaultyFailIf(t *testing.T) {
+	f := newFaultyMem(t, 1, 4, 1)
+	sentinel := errors.New("bad sector")
+	f.FailIf(FaultRead, func(rel OID, page uint32) bool { return rel == 1 && page == 2 }, sentinel)
+	buf := make([]byte, PageSize)
+	for p := uint32(0); p < 4; p++ {
+		err := f.ReadPage(1, p, buf)
+		if p == 2 {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("page 2: want bad sector, got %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+	}
+	// Predicate rules are not one-shot: page 2 stays bad.
+	if err := f.ReadPage(1, 2, buf); !errors.Is(err, sentinel) {
+		t.Fatalf("second hit on page 2: %v", err)
+	}
+}
+
+// TestFaultyProbDeterministic is the seeding contract: the same seed
+// over the same op sequence injects the same failures.
+func TestFaultyProbDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		f := newFaultyMem(t, 1, 1, seed)
+		f.FailProb(FaultRead, 0.3, nil)
+		buf := make([]byte, PageSize)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = f.ReadPage(1, 0, buf) != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	anyFail := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same seed diverged", i)
+		}
+		anyFail = anyFail || a[i]
+	}
+	if !anyFail {
+		t.Fatal("p=0.3 over 200 ops injected nothing")
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+func TestFaultyCrashAndHeal(t *testing.T) {
+	f := newFaultyMem(t, 1, 2, 1)
+	hooked := 0
+	f.CrashOn(FaultWrite, 2, func() { hooked++ })
+	buf := make([]byte, PageSize)
+	if err := f.WritePage(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WritePage(1, 1, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 2: want crash, got %v", err)
+	}
+	if hooked != 1 {
+		t.Fatalf("hook ran %d times", hooked)
+	}
+	if !f.Down() {
+		t.Fatal("device not down after crash")
+	}
+	// Everything fails while down, including reads and metadata.
+	if err := f.ReadPage(1, 0, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read while down: %v", err)
+	}
+	if _, err := f.NPages(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("NPages while down: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync while down: %v", err)
+	}
+	f.Heal()
+	if err := f.ReadPage(1, 0, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	// One-shot: healed device does not re-crash.
+	if err := f.WritePage(1, 1, buf); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+func TestFaultyCrashIfOnLogRelation(t *testing.T) {
+	f := newFaultyMem(t, 7, 1, 1)
+	f.CrashIf(FaultWrite, func(rel OID, page uint32) bool { return rel == 7 }, nil)
+	buf := make([]byte, PageSize)
+	if err := f.WritePage(7, 0, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash on rel 7 write, got %v", err)
+	}
+}
+
+// TestFaultyAsSwitchManager registers a Faulty-wrapped Mem in the
+// switch: the composition the full-stack recovery tests use.
+func TestFaultyAsSwitchManager(t *testing.T) {
+	fm := NewFaulty(NewMem(nil, 0), 1)
+	sw := NewSwitch()
+	sw.Register(fm)
+	if fm.Class() != "mem" {
+		t.Fatalf("class = %q", fm.Class())
+	}
+	if err := sw.Place(9, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Extend(9); err != nil {
+		t.Fatal(err)
+	}
+	fm.FailNth(FaultWrite, 1, nil)
+	buf := make([]byte, PageSize)
+	if err := sw.WritePage(9, 0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("switch write through faulty manager: %v", err)
+	}
+	if err := sw.WritePage(9, 0, buf); err != nil {
+		t.Fatalf("after one-shot: %v", err)
+	}
+	if err := sw.Drop(9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyOverSwitch wraps the whole switch — the buffer.Backend
+// composition.
+func TestFaultyOverSwitch(t *testing.T) {
+	sw := NewSwitch()
+	sw.Register(NewMem(nil, 0))
+	if err := sw.Place(3, ""); err != nil {
+		t.Fatal(err)
+	}
+	var f PageIO = NewFaulty(sw, 1)
+	if _, err := f.Extend(3); err != nil {
+		t.Fatal(err)
+	}
+	f.(*Faulty).FailNth(FaultExtend, 2, nil) // counter already at 1
+	if _, err := f.Extend(3); !errors.Is(err, ErrInjected) {
+		t.Fatalf("extend: %v", err)
+	}
+	if n, err := f.NPages(3); err != nil || n != 1 {
+		t.Fatalf("NPages = %d, %v", n, err)
+	}
+}

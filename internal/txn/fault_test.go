@@ -1,0 +1,295 @@
+// Fault-injection tests for the commit protocol: these run as an
+// external test package so they can stack the real buffer pool and
+// heap over a Faulty device, which the txn package proper cannot
+// import.
+package txn_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/device"
+	"repro/internal/heap"
+	"repro/internal/txn"
+)
+
+const dataRel device.OID = 100
+
+// commitRig is a minimal storage stack: one faulty device carrying
+// both the transaction logs and a data relation, a buffer pool over
+// it, and a manager whose ForceData flushes the pool — the same
+// force-at-commit wiring core.DB uses.
+type commitRig struct {
+	dev    *device.Mem
+	faulty *device.Faulty
+	pool   *buffer.Pool
+	mgr    *txn.Manager
+	rel    *heap.Relation
+}
+
+func newCommitRig(t *testing.T) *commitRig {
+	t.Helper()
+	dev := device.NewMem(nil, 0)
+	faulty := device.NewFaulty(dev, 1)
+	log, err := txn.OpenLog(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := txn.NewManager(log)
+	pool := buffer.NewPool(faulty, 32)
+	mgr.ForceData = func() error {
+		if err := pool.FlushAll(); err != nil {
+			return err
+		}
+		return faulty.Sync()
+	}
+	if err := faulty.Create(dataRel); err != nil {
+		t.Fatal(err)
+	}
+	return &commitRig{dev: dev, faulty: faulty, pool: pool, mgr: mgr,
+		rel: heap.Open(dataRel, pool, mgr)}
+}
+
+// reopen simulates recovery: the buffer cache is lost, the log is
+// reopened from the (healed) device, and a fresh manager serves
+// snapshots — in-progress transactions read as aborted.
+func (rig *commitRig) reopen(t *testing.T) *commitRig {
+	t.Helper()
+	rig.faulty.Heal().Clear()
+	rig.pool.Crash()
+	log, err := txn.OpenLog(rig.faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := txn.NewManager(log)
+	pool := buffer.NewPool(rig.faulty, 32)
+	mgr.ForceData = func() error {
+		if err := pool.FlushAll(); err != nil {
+			return err
+		}
+		return rig.faulty.Sync()
+	}
+	return &commitRig{dev: rig.dev, faulty: rig.faulty, pool: pool, mgr: mgr,
+		rel: heap.Open(dataRel, pool, mgr)}
+}
+
+func (rig *commitRig) insert(t *testing.T, tx *txn.Tx, payload string) heap.TID {
+	t.Helper()
+	tid, err := rig.rel.Insert(tx.ID(), []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tid
+}
+
+// TestCommitForceDataFailureAborts: a commit whose data force fails
+// must report the error, leave the transaction aborted, and keep the
+// status log consistent for subsequent transactions.
+func TestCommitForceDataFailureAborts(t *testing.T) {
+	rig := newCommitRig(t)
+	tx, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.insert(t, tx, "doomed")
+
+	// The data relation's writeback fails; the log relations stay good,
+	// so the abort record can be recorded.
+	rig.faulty.FailIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return rel == dataRel }, nil)
+	if err := tx.Commit(); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("Commit with failing data force: %v", err)
+	}
+	if !tx.Done() {
+		t.Fatal("transaction left open after failed commit")
+	}
+	if got := rig.mgr.StatusOf(tx.ID()); got != txn.StatusAborted {
+		t.Fatalf("status after failed commit = %v, want aborted", got)
+	}
+	if err := tx.Commit(); !errors.Is(err, txn.ErrTxDone) {
+		t.Fatalf("re-commit of aborted tx: %v", err)
+	}
+
+	// The manager is fully usable afterwards.
+	rig.faulty.Clear()
+	tx2, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := rig.insert(t, tx2, "survivor")
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rig.rel.Fetch(rig.mgr.CurrentSnapshot(), tid)
+	if err != nil || !bytes.Equal(got, []byte("survivor")) {
+		t.Fatalf("post-recovery insert: %q, %v", got, err)
+	}
+}
+
+// TestCommitFailureThenCrashKeepsPreCommitState: after a failed
+// commit, a crash plus reopen must show exactly the pre-commit state —
+// the committed record, not the aborted one.
+func TestCommitFailureThenCrashKeepsPreCommitState(t *testing.T) {
+	rig := newCommitRig(t)
+
+	tx1, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidGood := rig.insert(t, tx1, "pre-commit state")
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidBad := rig.insert(t, tx2, "never committed")
+	rig.faulty.FailIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return rel == dataRel }, nil)
+	if err := tx2.Commit(); !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	rig2 := rig.reopen(t)
+	snap := rig2.mgr.CurrentSnapshot()
+	got, err := rig2.rel.Fetch(snap, tidGood)
+	if err != nil || !bytes.Equal(got, []byte("pre-commit state")) {
+		t.Fatalf("committed record after crash: %q, %v", got, err)
+	}
+	if _, err := rig2.rel.Fetch(snap, tidBad); !errors.Is(err, heap.ErrNotVisible) && !errors.Is(err, heap.ErrNoRecord) {
+		t.Fatalf("aborted record visible after crash: %v", err)
+	}
+}
+
+// TestCommitLogForceFailureAborts: when the data force succeeds but
+// the status-log force fails, the transaction must not be left in
+// limbo — it finishes aborted and the error says so.
+func TestCommitLogForceFailureAborts(t *testing.T) {
+	rig := newCommitRig(t)
+	tx, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.insert(t, tx, "limbo")
+
+	rig.faulty.FailIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return rel == txn.StatusLogRel || rel == txn.TimeLogRel }, nil)
+	err = tx.Commit()
+	if !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("Commit with failing log force: %v", err)
+	}
+	if !strings.Contains(err.Error(), "transaction aborted") {
+		t.Fatalf("error does not state the outcome: %v", err)
+	}
+	if !tx.Done() {
+		t.Fatal("transaction left in limbo after failed log force")
+	}
+	if got := rig.mgr.StatusOf(tx.ID()); got != txn.StatusAborted {
+		t.Fatalf("status = %v, want aborted", got)
+	}
+
+	// The aborted state is re-forced by the next commit once the
+	// device heals, converging memory and disk.
+	rig.faulty.Clear()
+	tx2, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rig2 := rig.reopen(t)
+	if got := rig2.mgr.StatusOf(tx.ID()); got != txn.StatusAborted {
+		t.Fatalf("status after reopen = %v, want aborted", got)
+	}
+}
+
+// TestCrashHookMidCommit arms the one-shot "crash now" hook on the
+// first status-log write, so the machine dies after the data pages are
+// forced but before the commit record is stable: the canonical
+// no-overwrite recovery scenario. The hook trips buffer.Pool.Crash
+// mid-commit; after reopen the transaction must read as aborted and
+// earlier committed data must be intact.
+func TestCrashHookMidCommit(t *testing.T) {
+	rig := newCommitRig(t)
+
+	tx1, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidGood := rig.insert(t, tx1, "durable")
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidBad := rig.insert(t, tx2, "torn")
+	rig.faulty.CrashIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return rel == txn.StatusLogRel },
+		rig.pool.Crash)
+	err = tx2.Commit()
+	if !errors.Is(err, device.ErrCrashed) {
+		t.Fatalf("Commit through crash: %v", err)
+	}
+	if !rig.faulty.Down() {
+		t.Fatal("device not down after crash hook")
+	}
+
+	rig2 := rig.reopen(t)
+	if got := rig2.mgr.StatusOf(tx2.ID()); got != txn.StatusAborted {
+		t.Fatalf("torn commit status after recovery = %v, want aborted", got)
+	}
+	snap := rig2.mgr.CurrentSnapshot()
+	got, err := rig2.rel.Fetch(snap, tidGood)
+	if err != nil || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("durable record after crash: %q, %v", got, err)
+	}
+	if _, err := rig2.rel.Fetch(snap, tidBad); !errors.Is(err, heap.ErrNotVisible) && !errors.Is(err, heap.ErrNoRecord) {
+		t.Fatalf("torn record visible after recovery: %v", err)
+	}
+}
+
+// TestBeginAfterReserveForceFailure: a Begin that needs to raise the
+// XID ceiling through a failing device must surface the error rather
+// than hand out unreserved XIDs.
+func TestBeginAfterReserveForceFailure(t *testing.T) {
+	rig := newCommitRig(t)
+	rig.faulty.FailIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return rel == txn.StatusLogRel }, nil)
+	var sawErr bool
+	// The reserve chunk is thousands of XIDs wide; burn through Begins
+	// until one crosses the ceiling and must force the control page.
+	for i := 0; i < 10000; i++ {
+		tx, err := rig.mgr.Begin()
+		if err != nil {
+			if !errors.Is(err, device.ErrInjected) {
+				t.Fatalf("Begin: %v", err)
+			}
+			sawErr = true
+			break
+		}
+		if err := tx.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawErr {
+		t.Fatal("no Begin ever hit the failing control-page force")
+	}
+	// Healed, Begin works again.
+	rig.faulty.Clear()
+	tx, err := rig.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}

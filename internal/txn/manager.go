@@ -2,6 +2,7 @@ package txn
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -143,7 +144,17 @@ func (tx *Tx) Commit() error {
 
 	m.log.SetState(tx.id, StatusCommitted, t)
 	if err := m.log.Force(); err != nil {
-		return err
+		// The commit record may or may not have reached stable storage
+		// before the force died, so the durable outcome is ambiguous.
+		// Converge on abort: the cached log says aborted (re-forced on
+		// the next successful Force) and the transaction is finished,
+		// so it cannot linger in the live set pinning the horizon. If
+		// the process dies before another force, recovery may instead
+		// see the commit — either outcome is internally consistent
+		// because the data pages were already forced.
+		m.log.SetState(tx.id, StatusAborted, 0)
+		tx.finish(false)
+		return fmt.Errorf("txn: commit force failed, transaction aborted: %w", err)
 	}
 	tx.finish(true)
 	return nil

@@ -232,6 +232,9 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 		return st.addFD(f), nil
 	case OpClose:
 		fd := int32(r.Uint32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		f, ok := st.files[fd]
 		if !ok {
 			return nil, fmt.Errorf("wire: bad fd %d", fd)
@@ -241,6 +244,9 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 	case OpRead:
 		fd := int32(r.Uint32())
 		n := int(r.Uint32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		f, ok := st.files[fd]
 		if !ok {
 			return nil, fmt.Errorf("wire: bad fd %d", fd)
@@ -273,6 +279,9 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 		fd := int32(r.Uint32())
 		off := r.Int64()
 		whence := int(r.Uint32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		f, ok := st.files[fd]
 		if !ok {
 			return nil, fmt.Errorf("wire: bad fd %d", fd)
@@ -285,15 +294,26 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 	case OpTruncate:
 		fd := int32(r.Uint32())
 		size := r.Int64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		f, ok := st.files[fd]
 		if !ok {
 			return nil, fmt.Errorf("wire: bad fd %d", fd)
 		}
 		return nil, f.Truncate(size)
 	case OpMkdir:
-		return nil, st.sess.Mkdir(r.String())
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, st.sess.Mkdir(path)
 	case OpUnlink:
-		return nil, st.sess.Unlink(r.String())
+		path := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, st.sess.Unlink(path)
 	case OpRename:
 		oldp, newp := r.String(), r.String()
 		if err := r.Err(); err != nil {
@@ -303,6 +323,9 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 	case OpStat:
 		path := r.String()
 		ts := r.Int64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		var attr core.FileAttr
 		var err error
 		if ts != 0 {
@@ -317,6 +340,9 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 	case OpReadDir:
 		path := r.String()
 		ts := r.Int64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		var entries []core.DirEntry
 		var err error
 		if ts != 0 {
@@ -334,7 +360,11 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 		}
 		return w.Done(), nil
 	case OpQuery:
-		res, err := s.eng.Run(st.sess, r.String())
+		q := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		res, err := s.eng.Run(st.sess, q)
 		if err != nil {
 			return nil, err
 		}
