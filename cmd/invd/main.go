@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/inversion"
 )
@@ -32,15 +33,19 @@ func main() {
 		devices = flag.String("devices", "disk,mem", "comma-separated device classes: disk, mem, jukebox")
 		dflt    = flag.String("default", "", "default device class for new files")
 		data    = flag.String("data", "", "backing file for a persistent database (overrides -devices)")
+		idle    = flag.Duration("idle-timeout", inversion.DefaultIdleTimeout,
+			"abort a connection's transaction (releasing its locks) after this much silence; the connection is dropped after twice this")
+		grace = flag.Duration("grace", inversion.DefaultGracePeriod,
+			"shutdown drain budget before open connections are force-closed")
 	)
 	flag.Parse()
-	if err := run(*addr, *buffers, *devices, *dflt, *data); err != nil {
+	if err := run(*addr, *buffers, *devices, *dflt, *data, *idle, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "invd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, buffers int, devices, dflt, data string) error {
+func run(addr string, buffers int, devices, dflt, data string, idle, grace time.Duration) error {
 	var (
 		db      *inversion.DB
 		fd      *inversion.FileDiskDevice
@@ -90,16 +95,25 @@ func run(addr string, buffers int, devices, dflt, data string) error {
 	if err := inversion.RegisterStandardTypes(db.NewSession("invd")); err != nil {
 		return err
 	}
-	srv := inversion.NewServer(db)
+	srv := inversion.NewServerWith(db, inversion.ServerConfig{
+		IdleTimeout: idle,
+		GracePeriod: grace,
+	})
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("invd: serving Inversion on %s (%s)", bound, devDesc)
+	log.Printf("invd: serving Inversion on %s (%s; idle-timeout %v, grace %v)",
+		bound, devDesc, idle, grace)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("invd: shutting down")
+	log.Printf("invd: shutting down (draining up to %v; send the signal again to force exit)", grace)
+	go func() {
+		<-sig
+		log.Printf("invd: forced exit")
+		os.Exit(1)
+	}()
 	return srv.Close()
 }

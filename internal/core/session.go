@@ -16,13 +16,20 @@ import (
 // Begin/Commit bracket run in their own short transactions
 // (autocommit), which is exactly how NFS clients would behave per the
 // paper's discussion of NFS access.
+// ErrReaped is returned by Commit or Abort after the session's
+// transaction was aborted from outside — the server's idle-session
+// reaper released its locks because the connection went quiet. The
+// application should re-run the transaction.
+var ErrReaped = errors.New("inversion: transaction aborted: idle session reaped")
+
 type Session struct {
 	db    *DB
 	owner string
 
-	mu   sync.Mutex
-	tx   *txn.Tx
-	open map[*File]bool
+	mu     sync.Mutex
+	tx     *txn.Tx
+	open   map[*File]bool
+	reaped bool // tx was externally aborted; surfaced once via Commit/Abort
 }
 
 // NewSession opens a session for the given owner.
@@ -45,6 +52,7 @@ func (s *Session) Begin() error {
 		return err
 	}
 	s.tx = tx
+	s.reaped = false
 	return nil
 }
 
@@ -62,6 +70,8 @@ func (s *Session) Commit() error {
 	s.mu.Lock()
 	tx := s.tx
 	s.tx = nil
+	wasReaped := s.reaped
+	s.reaped = false
 	files := make([]*File, 0, len(s.open))
 	for f := range s.open {
 		files = append(files, f)
@@ -69,6 +79,9 @@ func (s *Session) Commit() error {
 	s.open = make(map[*File]bool)
 	s.mu.Unlock()
 	if tx == nil {
+		if wasReaped {
+			return ErrReaped
+		}
 		return errors.New("inversion: no transaction in progress")
 	}
 	for _, f := range files {
@@ -89,15 +102,58 @@ func (s *Session) Abort() error {
 	s.mu.Lock()
 	tx := s.tx
 	s.tx = nil
+	wasReaped := s.reaped
+	s.reaped = false
 	for f := range s.open {
 		f.closed = true
 	}
 	s.open = make(map[*File]bool)
 	s.mu.Unlock()
 	if tx == nil {
+		if wasReaped {
+			return ErrReaped
+		}
 		return errors.New("inversion: no transaction in progress")
 	}
 	return tx.Abort()
+}
+
+// AbortExternal aborts the session's active transaction from outside
+// its owning request loop: the wire server's idle-session reaper and
+// shutdown path use it to release a dead client's locks. Open files are
+// invalidated, and the session is marked reaped so the next Commit or
+// Abort surfaces ErrReaped (Begin clears the mark). It reports whether
+// a transaction was actually aborted.
+//
+// The caller must guarantee no operation on this session runs
+// concurrently — the server only reaps connections with no request in
+// flight. A session blocked inside a lock wait is safe: releasing the
+// transaction's locks unblocks the wait with txn.ErrLockAborted.
+func (s *Session) AbortExternal() bool {
+	s.mu.Lock()
+	tx := s.tx
+	s.tx = nil
+	if tx == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.reaped = true
+	for f := range s.open {
+		f.closed = true
+	}
+	s.open = make(map[*File]bool)
+	s.mu.Unlock()
+	// The abort may lose the race with a concurrent Commit/Abort that
+	// was already past the session check; the claim inside Tx decides.
+	return tx.Abort() == nil
+}
+
+// Reaped reports whether the session's transaction was externally
+// aborted and the fact not yet surfaced to the application.
+func (s *Session) Reaped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reaped
 }
 
 // snapshot returns the session's read view: the transaction's snapshot

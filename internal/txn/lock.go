@@ -11,6 +11,11 @@ import (
 // transaction should abort and may retry.
 var ErrDeadlock = errors.New("txn: deadlock detected")
 
+// ErrLockAborted is returned from a blocked Acquire whose transaction
+// was ended from outside while it waited — the idle-session reaper or
+// server shutdown aborted it, so the wait can never be satisfied.
+var ErrLockAborted = errors.New("txn: lock wait aborted: transaction ended externally")
+
 // LockMode is a lock strength.
 type LockMode int
 
@@ -49,6 +54,14 @@ type lockState struct {
 	queue   []*lockWaiter
 }
 
+// waitEntry remembers where a blocked transaction is queued so an
+// external abort can withdraw it. A transaction waits on at most one
+// lock at a time (its thread is blocked in Acquire).
+type waitEntry struct {
+	tag LockTag
+	w   *lockWaiter
+}
+
 // LockManager implements strict two-phase locking with deadlock
 // detection over the waits-for graph. Locks are held until ReleaseAll
 // at transaction end [GRAY76].
@@ -57,6 +70,7 @@ type LockManager struct {
 	locks    map[LockTag]*lockState
 	held     map[XID]map[LockTag]LockMode
 	waitsFor map[XID]map[XID]bool
+	waiting  map[XID]*waitEntry
 }
 
 // NewLockManager returns an empty lock manager.
@@ -65,6 +79,7 @@ func NewLockManager() *LockManager {
 		locks:    make(map[LockTag]*lockState),
 		held:     make(map[XID]map[LockTag]LockMode),
 		waitsFor: make(map[XID]map[XID]bool),
+		waiting:  make(map[XID]*waitEntry),
 	}
 }
 
@@ -166,6 +181,7 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 	w := &lockWaiter{xid: xid, mode: mode, ready: make(chan error, 1)}
 	ls.queue = append(ls.queue, w)
 	m.waitsFor[xid] = blockers
+	m.waiting[xid] = &waitEntry{tag: tag, w: w}
 	m.mu.Unlock()
 
 	err := <-w.ready
@@ -173,11 +189,31 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 }
 
 // ReleaseAll drops every lock xid holds and wakes newly grantable
-// waiters. Called at commit or abort (strict 2PL).
+// waiters. Called at commit or abort (strict 2PL). If xid is itself
+// blocked in Acquire — an externally aborted transaction — the wait is
+// withdrawn and the waiter unblocked with ErrLockAborted, so a reaped
+// session's handler cannot sit in a lock queue forever (or worse, be
+// granted a lock after its transaction ended).
 func (m *LockManager) ReleaseAll(xid XID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.waitsFor, xid)
+	if we, ok := m.waiting[xid]; ok {
+		delete(m.waiting, xid)
+		if ls := m.locks[we.tag]; ls != nil {
+			for i, qw := range ls.queue {
+				if qw == we.w {
+					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+					break
+				}
+			}
+			m.wakeLocked(we.tag, ls)
+			if len(ls.holders) == 0 && len(ls.queue) == 0 {
+				delete(m.locks, we.tag)
+			}
+		}
+		we.w.ready <- ErrLockAborted
+	}
 	tags := m.held[xid]
 	delete(m.held, xid)
 	for tag := range tags {
@@ -205,6 +241,7 @@ func (m *LockManager) wakeLocked(tag LockTag, ls *lockState) {
 		}
 		ls.queue = ls.queue[1:]
 		delete(m.waitsFor, w.xid)
+		delete(m.waiting, w.xid)
 		m.recordLocked(w.xid, tag, w.mode, ls)
 		w.ready <- nil
 	}

@@ -57,17 +57,33 @@ func (m *Manager) Locks() *LockManager { return m.locks }
 // Log exposes the status log (for tests and the vacuum cleaner).
 func (m *Manager) Log() *Log { return m.log }
 
-// Tx is one transaction. A Tx is not safe for concurrent use; the
-// paper's client library likewise allows "only one transaction active
-// at any time" per application.
+// Tx is one transaction. Operations on a Tx are not safe for fully
+// concurrent use — the paper's client library allows "only one
+// transaction active at any time" per application — but ending a
+// transaction (Commit or Abort) is serialised internally, so an
+// external abort (the wire server's idle-session reaper, shutdown) may
+// race a regular end: exactly one wins, the other gets ErrTxDone.
 type Tx struct {
 	mgr  *Manager
 	id   XID
 	snap *Snapshot
-	done bool
 
-	mu    sync.Mutex
-	onEnd []func(committed bool)
+	mu     sync.Mutex
+	ending bool // an end (commit or abort) has been claimed
+	done   bool // the end completed; locks are released
+	onEnd  []func(committed bool)
+}
+
+// claimEnd atomically claims the right to end the transaction; the
+// second caller loses and must treat the transaction as finished.
+func (tx *Tx) claimEnd() bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.ending {
+		return false
+	}
+	tx.ending = true
+	return true
 }
 
 // Begin starts a transaction with a transaction-consistent snapshot.
@@ -110,7 +126,10 @@ func (tx *Tx) OnEnd(f func(committed bool)) {
 
 // Lock acquires tag in mode under strict 2PL for this transaction.
 func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
-	if tx.done {
+	tx.mu.Lock()
+	ended := tx.ending
+	tx.mu.Unlock()
+	if ended {
 		return ErrTxDone
 	}
 	return tx.mgr.locks.Acquire(tx.id, tag, mode)
@@ -121,16 +140,16 @@ func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
 // records the commit and is forced. If the data force fails the
 // transaction aborts.
 func (tx *Tx) Commit() error {
-	if tx.done {
+	if !tx.claimEnd() {
 		return ErrTxDone
 	}
 	m := tx.mgr
 	if m.ForceData != nil {
 		if err := m.ForceData(); err != nil {
-			abortErr := tx.Abort()
-			if abortErr != nil {
-				return errors.Join(err, abortErr)
-			}
+			// The end is already claimed, so abort inline rather than
+			// through Abort (which would see the claim and refuse).
+			m.log.SetState(tx.id, StatusAborted, 0)
+			tx.finish(false)
 			return err
 		}
 	}
@@ -164,7 +183,7 @@ func (tx *Tx) Commit() error {
 // rollback writes nothing to data pages: the records it inserted are
 // simply never visible.
 func (tx *Tx) Abort() error {
-	if tx.done {
+	if !tx.claimEnd() {
 		return ErrTxDone
 	}
 	tx.mgr.log.SetState(tx.id, StatusAborted, 0)
@@ -174,22 +193,26 @@ func (tx *Tx) Abort() error {
 
 func (tx *Tx) finish(committed bool) {
 	m := tx.mgr
+	tx.mu.Lock()
 	tx.done = true
+	hooks := tx.onEnd
+	tx.onEnd = nil
+	tx.mu.Unlock()
 	m.mu.Lock()
 	delete(m.live, tx.id)
 	m.mu.Unlock()
 	m.locks.ReleaseAll(tx.id)
-	tx.mu.Lock()
-	hooks := tx.onEnd
-	tx.onEnd = nil
-	tx.mu.Unlock()
 	for _, f := range hooks {
 		f(committed)
 	}
 }
 
 // Done reports whether the transaction has ended.
-func (tx *Tx) Done() bool { return tx.done }
+func (tx *Tx) Done() bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.done
+}
 
 // StatusOf reports the effective state of x: live transactions are
 // in-progress; transactions the log never saw commit or abort are

@@ -1,10 +1,14 @@
 package wire
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -16,6 +20,14 @@ func floatBits(f float64) uint64  { return math.Float64bits(f) }
 func floatFrom(u uint64) float64  { return math.Float64frombits(u) }
 func oidFrom(u uint32) device.OID { return device.OID(u) }
 
+// ErrConnLost is returned (wrapped) when the connection to the server
+// died and the operation could not be safely retried on a fresh one.
+// If a transaction was open it has been aborted server-side; the
+// application should re-run it — the paper's
+// one-transaction-per-application model makes the transaction the unit
+// of retry.
+var ErrConnLost = errors.New("wire: connection lost")
+
 // FD is a remote file descriptor.
 type FD int32
 
@@ -26,24 +38,102 @@ const (
 	SeekEnd = 2
 )
 
+// Client reconnection defaults; zero fields in DialConfig take these.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
+)
+
+// DialConfig configures DialWithConfig.
+type DialConfig struct {
+	Addr  string
+	Owner string
+	// DialTimeout bounds one connection attempt.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response round trip; 0 means no
+	// deadline. A timed-out call poisons the connection (a partial frame
+	// may be in flight), so the connection is dropped and the usual
+	// reconnect rules apply.
+	CallTimeout time.Duration
+	// MaxRetries is how many reconnect attempts a single call may make
+	// after losing the connection. 0 disables reconnection: the first
+	// transport error marks the client broken and every subsequent call
+	// fails fast with ErrConnLost.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// reconnect attempts; each delay is jittered to half..full of the
+	// nominal value.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (c DialConfig) withDefaults() DialConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	return c
+}
+
 // Client is the special library the paper's programs link to reach
 // Inversion remotely. All calls are synchronous request/response over
 // one TCP connection; the client is safe for concurrent use but calls
 // serialise, matching the one-transaction-per-application model.
+//
+// A client dialed with a reconnecting DialConfig re-establishes the
+// connection with exponential backoff, but only re-sends operations
+// that are safe to repeat: descriptor operations never (remote fds die
+// with the connection), and inside a transaction only idempotent path
+// reads — an in-transaction mutation after a connection loss returns
+// ErrConnLost so the application re-runs the whole transaction.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	cfg DialConfig
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	inTx   bool // an explicit transaction is open on the current conn
+	txLost bool // the conn died mid-transaction; surface at commit/abort
+	rng    *rand.Rand
 }
 
 // Dial connects to an Inversion server and performs the owner
-// handshake.
+// handshake. The resulting client does not reconnect: after a
+// transport error it fails fast with ErrConnLost (use DialWithConfig
+// for a reconnecting client).
 func Dial(addr, owner string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithConfig(DialConfig{Addr: addr, Owner: owner})
+}
+
+// DialWithConfig connects with explicit timeout and reconnection
+// settings.
+func DialWithConfig(cfg DialConfig) (*Client, error) {
+	c := &Client{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	conn, err := c.connect()
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn}
-	if err := writeMsg(conn, 0, []byte(owner)); err != nil {
+	c.conn = conn
+	return c, nil
+}
+
+// connect dials and performs the owner handshake on a fresh connection.
+func (c *Client) connect() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if err := writeMsg(conn, 0, []byte(c.cfg.Owner)); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -51,16 +141,53 @@ func Dial(addr, owner string) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
-	return c, nil
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
 }
 
-// Close tears the connection down.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// call performs one request/response round trip.
-func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+// Close tears the connection down; the client cannot be used again.
+func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// retryable reports whether op may be transparently re-sent on a fresh
+// connection, evaluated against the transaction state from before the
+// loss. Descriptor ops never are: remote fds die with the connection.
+// Inside a transaction only idempotent path reads are (the transaction
+// itself is gone; the retried read sees committed state and the loss is
+// reported at commit). Outside a transaction everything else is fair
+// game — autocommit retries are at-least-once, which the paper's
+// failure model accepts.
+func (c *Client) retryable(op byte) bool {
+	switch op {
+	case OpClose, OpRead, OpWrite, OpLseek, OpTruncate:
+		return false
+	}
+	if !c.inTx {
+		return true
+	}
+	switch op {
+	case OpStat, OpReadDir, OpCall, OpStats:
+		return true
+	}
+	return false
+}
+
+// roundTrip performs one request/response exchange on the current
+// connection under the call deadline.
+func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+	if c.cfg.CallTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeMsg(c.conn, op, payload); err != nil {
 		return nil, err
 	}
@@ -69,9 +196,112 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	if status == statusErr {
-		return nil, &RemoteError{Msg: string(resp)}
+		return nil, decodeErrFrame(resp)
 	}
 	return resp, nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// sleepBackoff waits out the attempt'th reconnect delay: exponential
+// from BackoffBase capped at BackoffMax, jittered across the upper half
+// so a fleet of clients does not stampede a restarted server.
+func (c *Client) sleepBackoff(attempt int) {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	time.Sleep(half + time.Duration(c.rng.Int63n(int64(half)+1)))
+}
+
+// noteOutcome updates transaction tracking after the server answered
+// (success or remote error — either way the connection is healthy). A
+// failed commit or abort still ends the server-side transaction.
+func (c *Client) noteOutcome(op byte, err error) {
+	switch op {
+	case OpBegin:
+		if err == nil {
+			c.inTx = true
+		}
+	case OpCommit, OpAbort:
+		c.inTx = false
+	}
+}
+
+// call performs one request/response round trip, reconnecting and
+// retrying when the operation is safe to repeat.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("wire: client closed: %w", ErrConnLost)
+	}
+
+	// A transaction lost to a dead connection is reported at its
+	// bracketing ops: commit cannot have happened; abort already did.
+	switch op {
+	case OpBegin:
+		c.txLost = false
+	case OpCommit:
+		if c.txLost {
+			c.txLost = false
+			return nil, fmt.Errorf("wire: transaction lost before commit: %w", ErrConnLost)
+		}
+	case OpAbort:
+		if c.txLost {
+			c.txLost = false
+			return nil, nil
+		}
+	}
+
+	if c.conn == nil && (!c.retryable(op) || c.cfg.MaxRetries == 0) {
+		return nil, fmt.Errorf("wire: not connected: %w", ErrConnLost)
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			conn, err := c.connect()
+			if err != nil {
+				lastErr = err
+				if attempt >= c.cfg.MaxRetries {
+					break
+				}
+				c.sleepBackoff(attempt)
+				continue
+			}
+			c.conn = conn
+		}
+		resp, err := c.roundTrip(op, payload)
+		var remote *RemoteError
+		if err == nil || errors.As(err, &remote) {
+			// The server answered; the connection is healthy.
+			c.noteOutcome(op, err)
+			return resp, err
+		}
+		// Transport failure: the connection is poisoned (a partial frame
+		// may be in flight), so drop it. Decide retryability against the
+		// pre-loss transaction state, then record that the transaction —
+		// if any — died with the connection.
+		lastErr = err
+		retry := c.retryable(op)
+		c.dropConnLocked()
+		if c.inTx {
+			c.inTx = false
+			c.txLost = true
+		}
+		if !retry || attempt >= c.cfg.MaxRetries {
+			break
+		}
+		c.sleepBackoff(attempt)
+	}
+	return nil, fmt.Errorf("wire: %v: %w", lastErr, ErrConnLost)
 }
 
 // PBegin starts a transaction.

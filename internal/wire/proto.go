@@ -10,8 +10,12 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/core"
+	"repro/internal/txn"
 )
 
 // Opcodes.
@@ -46,6 +50,39 @@ const (
 	statusErr byte = 1
 )
 
+// Error codes carried in the first byte of a statusErr payload, so
+// clients can match sentinel errors (deadlock, reap) without parsing
+// message text.
+const (
+	errCodeGeneric  byte = 0
+	errCodeDeadlock byte = 1
+	errCodeReaped   byte = 2
+)
+
+// errFrame encodes an error reply payload: code byte + message.
+func errFrame(err error) []byte {
+	code := errCodeGeneric
+	switch {
+	case errors.Is(err, txn.ErrDeadlock):
+		code = errCodeDeadlock
+	case errors.Is(err, core.ErrReaped):
+		code = errCodeReaped
+	}
+	msg := err.Error()
+	buf := make([]byte, 1+len(msg))
+	buf[0] = code
+	copy(buf[1:], msg)
+	return buf
+}
+
+// decodeErrFrame is the client-side inverse of errFrame.
+func decodeErrFrame(payload []byte) *RemoteError {
+	if len(payload) == 0 {
+		return &RemoteError{Msg: "unknown error"}
+	}
+	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
+}
+
 // maxMessage bounds a single protocol message.
 const maxMessage = 1 << 24
 
@@ -78,7 +115,24 @@ func readMsg(r io.Reader) (kind byte, payload []byte, err error) {
 	return buf[0], buf[1:], nil
 }
 
-// RemoteError is an error reported by the server.
-type RemoteError struct{ Msg string }
+// RemoteError is an error reported by the server. Code classifies the
+// failure; errors.Is(err, txn.ErrDeadlock) and errors.Is(err,
+// core.ErrReaped) match the corresponding codes, so remote sentinel
+// errors behave like local ones.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
 
 func (e *RemoteError) Error() string { return "inversion server: " + e.Msg }
+
+// Is maps wire error codes back onto the sentinel errors they encode.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Code {
+	case errCodeDeadlock:
+		return target == txn.ErrDeadlock
+	case errCodeReaped:
+		return target == core.ErrReaped
+	}
+	return false
+}

@@ -6,7 +6,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/query"
@@ -14,22 +16,91 @@ import (
 	"repro/internal/value"
 )
 
+// Lifecycle defaults; zero fields in ServerConfig take these values.
+const (
+	DefaultIdleTimeout  = 2 * time.Minute
+	DefaultGracePeriod  = 5 * time.Second
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// ServerConfig tunes the server's connection lifecycle.
+type ServerConfig struct {
+	// IdleTimeout is how long a connection with an open transaction may
+	// stay silent before the reaper aborts the transaction, releasing
+	// its locks. A connection that stays silent for twice the timeout is
+	// dropped (the read deadline enforces this), so a kill -9'd client
+	// cannot pin its locks or its connection. Idle connections with no
+	// transaction hold no locks and are left alone.
+	IdleTimeout time.Duration
+	// GracePeriod bounds Close: in-flight requests get this long to
+	// drain before every connection is force-closed and idle
+	// transactions are aborted.
+	GracePeriod time.Duration
+	// WriteTimeout bounds one response write, so a stalled client that
+	// stops reading cannot wedge its handler goroutine.
+	WriteTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.GracePeriod <= 0 {
+		c.GracePeriod = DefaultGracePeriod
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	return c
+}
+
 // Server serves the Inversion protocol over TCP. Each connection gets
 // its own Session (one transaction at a time) and file descriptor
 // table.
 type Server struct {
-	db     *core.DB
-	eng    *query.Engine
-	ln     net.Listener
-	logf   func(format string, args ...any)
-	wg     sync.WaitGroup
+	db   *core.DB
+	eng  *query.Engine
+	cfg  ServerConfig
+	logf func(format string, args ...any)
+	wg   sync.WaitGroup
+	quit chan struct{}
+
 	mu     sync.Mutex
+	ln     net.Listener
 	closed bool
+	conns  map[*serverConn]struct{}
+
+	// testHook, when set before Listen, runs at the top of every request
+	// handler; tests use it to inject handler panics.
+	testHook func(op byte, payload []byte)
 }
 
-// NewServer returns a server for db.
-func NewServer(db *core.DB) *Server {
-	return &Server{db: db, eng: query.New(db), logf: log.Printf}
+// serverConn tracks one live connection. Its mutex serialises the three
+// goroutines that may touch the session from outside a request: the
+// connection's own loop, the idle reaper, and shutdown.
+type serverConn struct {
+	conn net.Conn
+	st   *connState
+
+	mu         sync.Mutex
+	busy       bool // a request is being handled right now
+	reaped     bool // tx aborted by the reaper; answer the next request with ErrReaped
+	lastActive time.Time
+}
+
+// NewServer returns a server for db with default lifecycle settings.
+func NewServer(db *core.DB) *Server { return NewServerWith(db, ServerConfig{}) }
+
+// NewServerWith returns a server for db with explicit lifecycle
+// settings.
+func NewServerWith(db *core.DB, cfg ServerConfig) *Server {
+	return &Server{
+		db:    db,
+		eng:   query.New(db),
+		cfg:   cfg.withDefaults(),
+		logf:  log.Printf,
+		conns: make(map[*serverConn]struct{}),
+	}
 }
 
 // SetLogf overrides the server's logger (tests silence it).
@@ -42,16 +113,20 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.mu.Lock()
 	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.quit = make(chan struct{})
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go s.acceptLoop(ln)
+	go s.reapLoop()
 	return ln.Addr().String(), nil
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
@@ -69,13 +144,105 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// Close stops accepting and waits for connections to finish.
+// reapLoop periodically aborts transactions whose connection has gone
+// quiet past the idle timeout, so a dead client's locks are released
+// long before TCP notices the peer is gone.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.IdleTimeout / 4
+	if interval > time.Second {
+		interval = time.Second
+	}
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.reapOnce(time.Now())
+		}
+	}
+}
+
+func (s *Server) reapOnce(now time.Time) {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.mu.Lock()
+		idle := now.Sub(sc.lastActive)
+		if !sc.busy && !sc.reaped && sc.st.sess != nil && sc.st.sess.InTx() &&
+			idle > s.cfg.IdleTimeout {
+			sc.reaped = true
+			if sc.st.sess.AbortExternal() {
+				s.logf("inversion: reaped idle transaction (owner %q, idle %v)",
+					sc.st.sess.Owner(), idle.Round(time.Millisecond))
+			}
+		}
+		sc.mu.Unlock()
+	}
+}
+
+// Close stops accepting and shuts down in two bounded phases: in-flight
+// requests get GracePeriod to drain; after that every connection is
+// closed, idle transactions are aborted (releasing their locks and
+// unblocking any handler stuck in a lock wait), and the remaining
+// goroutines get one more GracePeriod before Close returns regardless.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
+	ln := s.ln
+	quit := s.quit
 	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
+	if quit != nil {
+		close(quit)
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-time.After(s.cfg.GracePeriod):
+	}
+
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+		sc.mu.Lock()
+		if !sc.busy && sc.st.sess != nil {
+			sc.st.sess.AbortExternal()
+		}
+		sc.mu.Unlock()
+	}
+	select {
+	case <-done:
+	case <-time.After(s.cfg.GracePeriod):
+		s.logf("inversion: shutdown: connections still draining after force-close")
+	}
 	return err
 }
 
@@ -86,47 +253,139 @@ type connState struct {
 	nextFD int32
 }
 
+// writeReply sends one response frame under the write deadline.
+func (s *Server) writeReply(conn net.Conn, status byte, payload []byte) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err := writeMsg(conn, status, payload)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	sc := &serverConn{conn: conn, lastActive: time.Now()}
 	st := &connState{files: make(map[int32]*core.File), nextFD: 3}
+	sc.st = st
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+
 	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		// Serialise final cleanup against the reaper and shutdown so the
+		// session and its files are never torn down from two goroutines
+		// at once.
+		sc.mu.Lock()
 		for _, f := range st.files {
 			_ = f.Close()
 		}
 		if st.sess != nil && st.sess.InTx() {
 			_ = st.sess.Abort()
 		}
+		sc.mu.Unlock()
 	}()
 
-	// Handshake: first message is the owner name.
+	// Handshake: first message is the owner name, under a deadline so a
+	// connect-and-stall peer cannot hold the goroutine forever.
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	kind, payload, err := readMsg(conn)
 	if err != nil || kind != 0 {
 		return
 	}
-	st.sess = s.db.NewSession(string(payload))
-	if err := writeMsg(conn, statusOK, nil); err != nil {
+	sess := s.db.NewSession(string(payload))
+	sc.mu.Lock()
+	st.sess = sess
+	sc.mu.Unlock()
+	if err := s.writeReply(conn, statusOK, nil); err != nil {
 		return
 	}
 
 	for {
+		// In-transaction connections read under a deadline of twice the
+		// idle timeout: the reaper aborts the transaction at one timeout
+		// and the deadline drops a connection still silent at two. Idle
+		// connections outside a transaction hold no locks and may stay
+		// quiet indefinitely.
+		if sess.InTx() {
+			_ = conn.SetReadDeadline(time.Now().Add(2 * s.cfg.IdleTimeout))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
 		op, payload, err := readMsg(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			var ne net.Error
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+			case errors.As(err, &ne) && ne.Timeout():
+				s.logf("inversion: dropping silent in-transaction connection (owner %q)", sess.Owner())
+			default:
 				s.logf("inversion: conn read: %v", err)
 			}
 			return
 		}
-		resp, err := s.handle(st, op, payload)
-		if err != nil {
-			if werr := writeMsg(conn, statusErr, []byte(err.Error())); werr != nil {
+
+		sc.mu.Lock()
+		if sc.reaped {
+			sc.reaped = false
+			sc.lastActive = time.Now()
+			sc.mu.Unlock()
+			// The request raced the reaper: its transaction is gone.
+			// Tell the client distinctly and keep serving.
+			if werr := s.writeReply(conn, statusErr, errFrame(core.ErrReaped)); werr != nil {
 				return
 			}
 			continue
 		}
-		if err := writeMsg(conn, statusOK, resp); err != nil {
+		sc.busy = true
+		sc.mu.Unlock()
+
+		resp, panicked, err := s.handleSafe(st, op, payload)
+
+		sc.mu.Lock()
+		sc.busy = false
+		sc.lastActive = time.Now()
+		sc.mu.Unlock()
+
+		if panicked {
+			// A poisoned request must not take the process down: answer
+			// with an error, then tear this connection down (the deferred
+			// cleanup aborts the session's transaction, releasing locks).
+			_ = s.writeReply(conn, statusErr, errFrame(err))
+			return
+		}
+		if err != nil {
+			if werr := s.writeReply(conn, statusErr, errFrame(err)); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := s.writeReply(conn, statusOK, resp); err != nil {
 			return
 		}
 	}
+}
+
+// handleSafe runs one request, converting a handler panic into an error
+// so a single poisoned request cannot kill the server process.
+func (s *Server) handleSafe(st *connState, op byte, payload []byte) (resp []byte, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("inversion: handler panic (op %d): %v\n%s", op, r, debug.Stack())
+			resp, panicked, err = nil, true, fmt.Errorf("wire: internal server error: %v", r)
+		}
+	}()
+	if s.testHook != nil {
+		s.testHook(op, payload)
+	}
+	resp, err = s.handle(st, op, payload)
+	return resp, false, err
 }
 
 func encodeAttrWire(a core.FileAttr) []byte {

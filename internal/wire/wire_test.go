@@ -12,7 +12,7 @@ import (
 	"repro/internal/typefuncs"
 )
 
-func startServer(t *testing.T) (*Server, string, *core.DB) {
+func newTestDB(t *testing.T) *core.DB {
 	t.Helper()
 	sw := device.NewSwitch()
 	sw.Register(device.NewMem(nil, 0))
@@ -33,8 +33,22 @@ func startServer(t *testing.T) (*Server, string, *core.DB) {
 	if err := typefuncs.RegisterAll(db.NewSession("setup")); err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(db)
+	return db
+}
+
+func startServer(t *testing.T) (*Server, string, *core.DB) {
+	t.Helper()
+	return startServerCfg(t, ServerConfig{}, nil)
+}
+
+// startServerCfg is startServer with explicit lifecycle settings and an
+// optional request hook (installed before Listen, as required).
+func startServerCfg(t *testing.T, cfg ServerConfig, hook func(op byte, payload []byte)) (*Server, string, *core.DB) {
+	t.Helper()
+	db := newTestDB(t)
+	srv := NewServerWith(db, cfg)
 	srv.SetLogf(func(string, ...any) {})
+	srv.testHook = hook
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

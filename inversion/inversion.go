@@ -46,6 +46,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rules"
 	"repro/internal/satgen"
+	"repro/internal/txn"
 	"repro/internal/typefuncs"
 	"repro/internal/value"
 	"repro/internal/wire"
@@ -101,10 +102,27 @@ type (
 type (
 	// Server serves the Inversion protocol over TCP.
 	Server = wire.Server
+	// ServerConfig tunes the server's connection lifecycle: idle-session
+	// reaping, shutdown grace period, and write deadlines.
+	ServerConfig = wire.ServerConfig
 	// Client is the special library programs link to reach a server.
 	Client = wire.Client
+	// DialConfig configures a reconnecting client: dial/call timeouts
+	// and reconnect backoff.
+	DialConfig = wire.DialConfig
+	// RemoteError is an error reported by a server over the wire.
+	RemoteError = wire.RemoteError
 	// FD is a remote file descriptor.
 	FD = wire.FD
+)
+
+// Wire lifecycle defaults.
+const (
+	// DefaultIdleTimeout is the server's default idle-transaction reap
+	// threshold.
+	DefaultIdleTimeout = wire.DefaultIdleTimeout
+	// DefaultGracePeriod is the server's default shutdown drain budget.
+	DefaultGracePeriod = wire.DefaultGracePeriod
 )
 
 // Query and rules types.
@@ -150,6 +168,17 @@ var (
 	ErrClosed       = core.ErrClosed
 	ErrNoFunction   = core.ErrNoFunction
 	ErrTypeMismatch = core.ErrTypeMismatch
+	// ErrDeadlock is returned to one participant of a lock cycle; its
+	// transaction should abort and may retry. A server surfaces it over
+	// the wire so errors.Is works on remote clients too.
+	ErrDeadlock = txn.ErrDeadlock
+	// ErrReaped is returned by Commit/Abort after the server's idle
+	// reaper aborted the session's transaction; re-run the transaction.
+	ErrReaped = core.ErrReaped
+	// ErrConnLost is wrapped by client calls that lost the server
+	// connection and could not safely retry; if a transaction was open
+	// it has been aborted server-side and should be re-run.
+	ErrConnLost = wire.ErrConnLost
 )
 
 // Open opens (or bootstraps) a database over a device switch.
@@ -233,8 +262,18 @@ func NewRulesEngine(db *DB) *RulesEngine { return rules.New(db) }
 // NewServer returns a TCP server for db; call Listen to start it.
 func NewServer(db *DB) *Server { return wire.NewServer(db) }
 
-// Dial connects to a server as the given owner.
+// NewServerWith returns a TCP server for db with explicit lifecycle
+// settings (idle-transaction reaping, shutdown grace period).
+func NewServerWith(db *DB, cfg ServerConfig) *Server { return wire.NewServerWith(db, cfg) }
+
+// Dial connects to a server as the given owner. The client does not
+// reconnect; use DialWithConfig for one that does.
 func Dial(addr, owner string) (*Client, error) { return wire.Dial(addr, owner) }
+
+// DialWithConfig connects with explicit timeouts and automatic
+// reconnection (exponential backoff with jitter). Only operations that
+// are safe to repeat are retried; see the wire package documentation.
+func DialWithConfig(cfg DialConfig) (*Client, error) { return wire.DialWithConfig(cfg) }
 
 // RegisterStandardTypes defines the paper's Table 2 file types and
 // classification functions (ASCII/troff documents, CZCS and Thematic
