@@ -10,18 +10,18 @@ import (
 	"repro/internal/txn"
 )
 
-// Session is one client of the file system, holding at most one active
-// transaction ("a single application program may only have one
-// transaction active at any time"). Operations outside an explicit
-// Begin/Commit bracket run in their own short transactions
-// (autocommit), which is exactly how NFS clients would behave per the
-// paper's discussion of NFS access.
 // ErrReaped is returned by Commit or Abort after the session's
 // transaction was aborted from outside — the server's idle-session
 // reaper released its locks because the connection went quiet. The
 // application should re-run the transaction.
 var ErrReaped = errors.New("inversion: transaction aborted: idle session reaped")
 
+// Session is one client of the file system, holding at most one active
+// transaction ("a single application program may only have one
+// transaction active at any time"). Operations outside an explicit
+// Begin/Commit bracket run in their own short transactions
+// (autocommit), which is exactly how NFS clients would behave per the
+// paper's discussion of NFS access.
 type Session struct {
 	db    *DB
 	owner string

@@ -78,6 +78,49 @@ func TestExternalAbortUnblocksLockWait(t *testing.T) {
 	}
 }
 
+// TestExternalAbortDuringLockGrantLeaksNothing races Lock against an
+// external end. Whatever the interleaving — the abort's ReleaseAll
+// running before, during, or after the grant — no lock may remain held
+// by the dead transaction: a grant that lands after ReleaseAll already
+// ran would block the tag forever.
+func TestExternalAbortDuringLockGrantLeaksNothing(t *testing.T) {
+	m, _ := newManager(t)
+	tag := LockTag{Space: SpaceRelation, Rel: 99}
+	for i := 0; i < 200; i++ {
+		tx, err := m.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var lockErr error
+		go func() { defer wg.Done(); lockErr = tx.Lock(tag, LockExclusive) }()
+		go func() { defer wg.Done(); tx.Abort() }()
+		wg.Wait()
+		if held := m.Locks().HeldBy(tx.ID()); len(held) != 0 {
+			t.Fatalf("iter %d: aborted tx still holds %v (Lock err: %v)", i, held, lockErr)
+		}
+		// The tag must be immediately takeable by a fresh transaction.
+		probe, err := m.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(chan error, 1)
+		go func() { got <- probe.Lock(tag, LockExclusive) }()
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatalf("iter %d: probe lock: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: tag leaked — still blocked after external abort", i)
+		}
+		if err := probe.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestCommitAbortRaceExactlyOnce(t *testing.T) {
 	m, _ := newManager(t)
 	for i := 0; i < 50; i++ {

@@ -125,6 +125,12 @@ func (tx *Tx) OnEnd(f func(committed bool)) {
 }
 
 // Lock acquires tag in mode under strict 2PL for this transaction.
+// An external end (the idle-session reaper, server shutdown) can race
+// the acquisition: the pre-check below can read ending=false, the
+// external abort then claims the end and runs ReleaseAll, and only
+// afterwards does Acquire enqueue or grant — a lock nobody will ever
+// release. The post-check closes that window: if the end was claimed
+// while the lock was being granted, the grant is revoked.
 func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
 	tx.mu.Lock()
 	ended := tx.ending
@@ -132,7 +138,20 @@ func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
 	if ended {
 		return ErrTxDone
 	}
-	return tx.mgr.locks.Acquire(tx.id, tag, mode)
+	if err := tx.mgr.locks.Acquire(tx.id, tag, mode); err != nil {
+		return err
+	}
+	tx.mu.Lock()
+	ended = tx.ending
+	tx.mu.Unlock()
+	if ended {
+		// The transaction's ReleaseAll may already have run and missed
+		// this grant; releasing here is either the missing cleanup or a
+		// harmless no-op racing the end's own ReleaseAll.
+		tx.mgr.locks.ReleaseAll(tx.id)
+		return ErrTxDone
+	}
+	return nil
 }
 
 // Commit makes the transaction's changes durable and visible: dirty

@@ -91,16 +91,27 @@ func (c DialConfig) withDefaults() DialConfig {
 // that are safe to repeat: descriptor operations never (remote fds die
 // with the connection), and inside a transaction only idempotent path
 // reads — an in-transaction mutation after a connection loss returns
-// ErrConnLost so the application re-runs the whole transaction.
+// ErrConnLost so the application re-runs the whole transaction. The
+// lost-transaction state is sticky: every later mutation inside the
+// dead bracket fails with ErrConnLost as well (only idempotent reads
+// proceed), until Begin, Commit, or Abort resets it.
 type Client struct {
 	cfg DialConfig
 
+	// mu serialises calls and guards the transaction tracking below.
 	mu     sync.Mutex
-	conn   net.Conn
-	closed bool
 	inTx   bool // an explicit transaction is open on the current conn
-	txLost bool // the conn died mid-transaction; surface at commit/abort
+	txLost bool // the conn died mid-tx; fail mutations until the next bracketing op
 	rng    *rand.Rand
+
+	// connMu guards conn and closed separately from mu so Close never
+	// waits behind a call that is blocked on a stalled server or
+	// sleeping out a reconnect backoff: closing the live conn unblocks
+	// its I/O, and closedCh cuts the backoff sleep short.
+	connMu   sync.Mutex
+	conn     net.Conn
+	closed   bool
+	closedCh chan struct{}
 }
 
 // Dial connects to an Inversion server and performs the owner
@@ -115,8 +126,9 @@ func Dial(addr, owner string) (*Client, error) {
 // settings.
 func DialWithConfig(cfg DialConfig) (*Client, error) {
 	c := &Client{
-		cfg: cfg.withDefaults(),
-		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:      cfg.withDefaults(),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		closedCh: make(chan struct{}),
 	}
 	conn, err := c.connect()
 	if err != nil {
@@ -146,16 +158,54 @@ func (c *Client) connect() (net.Conn, error) {
 }
 
 // Close tears the connection down; the client cannot be used again.
+// It returns without waiting for in-flight calls: closing the live
+// connection unblocks a call stalled in I/O, and a call mid-backoff is
+// woken and fails with ErrConnLost.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	if c.conn == nil {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
+	c.closed = true
+	close(c.closedCh)
+	conn := c.conn
 	c.conn = nil
-	return err
+	c.connMu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}
+
+// liveConn snapshots the current connection and closed flag.
+func (c *Client) liveConn() (net.Conn, bool) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn, c.closed
+}
+
+// installConn publishes a freshly dialed connection unless the client
+// was closed meanwhile (then the caller must close it).
+func (c *Client) installConn(conn net.Conn) bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.conn = conn
+	return true
+}
+
+// dropConn closes a poisoned connection and unpublishes it if it is
+// still the live one.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.connMu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.connMu.Unlock()
 }
 
 // retryable reports whether op may be transparently re-sent on a fresh
@@ -181,17 +231,17 @@ func (c *Client) retryable(op byte) bool {
 	return false
 }
 
-// roundTrip performs one request/response exchange on the current
-// connection under the call deadline.
-func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+// roundTrip performs one request/response exchange on conn under the
+// call deadline.
+func (c *Client) roundTrip(conn net.Conn, op byte, payload []byte) ([]byte, error) {
 	if c.cfg.CallTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
-		defer c.conn.SetDeadline(time.Time{})
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		defer conn.SetDeadline(time.Time{})
 	}
-	if err := writeMsg(c.conn, op, payload); err != nil {
+	if err := writeMsg(conn, op, payload); err != nil {
 		return nil, err
 	}
-	status, resp, err := readMsg(c.conn)
+	status, resp, err := readMsg(conn)
 	if err != nil {
 		return nil, err
 	}
@@ -201,23 +251,25 @@ func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
 	return resp, nil
 }
 
-func (c *Client) dropConnLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-}
-
 // sleepBackoff waits out the attempt'th reconnect delay: exponential
 // from BackoffBase capped at BackoffMax, jittered across the upper half
-// so a fleet of clients does not stampede a restarted server.
-func (c *Client) sleepBackoff(attempt int) {
+// so a fleet of clients does not stampede a restarted server. The sleep
+// is cut short if the client is closed, so Close interrupts a retrying
+// call instead of waiting out its backoff schedule.
+func (c *Client) sleepBackoff(attempt int) error {
 	d := c.cfg.BackoffBase << uint(attempt)
 	if d <= 0 || d > c.cfg.BackoffMax {
 		d = c.cfg.BackoffMax
 	}
 	half := d / 2
-	time.Sleep(half + time.Duration(c.rng.Int63n(int64(half)+1)))
+	t := time.NewTimer(half + time.Duration(c.rng.Int63n(int64(half)+1)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closedCh:
+		return fmt.Errorf("wire: client closed: %w", ErrConnLost)
+	}
 }
 
 // noteOutcome updates transaction tracking after the server answered
@@ -239,12 +291,15 @@ func (c *Client) noteOutcome(op byte, err error) {
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return nil, fmt.Errorf("wire: client closed: %w", ErrConnLost)
-	}
 
 	// A transaction lost to a dead connection is reported at its
-	// bracketing ops: commit cannot have happened; abort already did.
+	// bracketing ops — commit cannot have happened; abort already did —
+	// and the lost state is sticky until then: every other op issued
+	// inside the dead transaction's bracket fails with ErrConnLost too,
+	// except the idempotent path reads, which proceed against committed
+	// state. Without that, a mutation following a silently retried read
+	// would run in autocommit on the fresh connection and survive the
+	// transaction re-run the application is about to perform.
 	switch op {
 	case OpBegin:
 		c.txLost = false
@@ -258,27 +313,43 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			c.txLost = false
 			return nil, nil
 		}
+	case OpStat, OpReadDir, OpCall, OpStats:
+		// Idempotent reads; safe whether or not the transaction is lost.
+	default:
+		if c.txLost {
+			return nil, fmt.Errorf("wire: transaction lost: %w", ErrConnLost)
+		}
 	}
 
-	if c.conn == nil && (!c.retryable(op) || c.cfg.MaxRetries == 0) {
+	conn, closed := c.liveConn()
+	if closed {
+		return nil, fmt.Errorf("wire: client closed: %w", ErrConnLost)
+	}
+	if conn == nil && (!c.retryable(op) || c.cfg.MaxRetries == 0) {
 		return nil, fmt.Errorf("wire: not connected: %w", ErrConnLost)
 	}
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if c.conn == nil {
-			conn, err := c.connect()
+		if conn == nil {
+			fresh, err := c.connect()
 			if err != nil {
 				lastErr = err
 				if attempt >= c.cfg.MaxRetries {
 					break
 				}
-				c.sleepBackoff(attempt)
+				if err := c.sleepBackoff(attempt); err != nil {
+					return nil, err
+				}
 				continue
 			}
-			c.conn = conn
+			if !c.installConn(fresh) {
+				fresh.Close()
+				return nil, fmt.Errorf("wire: client closed: %w", ErrConnLost)
+			}
+			conn = fresh
 		}
-		resp, err := c.roundTrip(op, payload)
+		resp, err := c.roundTrip(conn, op, payload)
 		var remote *RemoteError
 		if err == nil || errors.As(err, &remote) {
 			// The server answered; the connection is healthy.
@@ -291,7 +362,8 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		// if any — died with the connection.
 		lastErr = err
 		retry := c.retryable(op)
-		c.dropConnLocked()
+		c.dropConn(conn)
+		conn = nil
 		if c.inTx {
 			c.inTx = false
 			c.txLost = true
@@ -299,7 +371,9 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		if !retry || attempt >= c.cfg.MaxRetries {
 			break
 		}
-		c.sleepBackoff(attempt)
+		if err := c.sleepBackoff(attempt); err != nil {
+			return nil, err
+		}
 	}
 	return nil, fmt.Errorf("wire: %v: %w", lastErr, ErrConnLost)
 }

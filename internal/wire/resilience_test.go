@@ -388,6 +388,116 @@ func TestInTxMutationNotRetriedOnConnLoss(t *testing.T) {
 	}
 }
 
+// TestTxLostFailsMutationsAfterSilentReadRetry: when the connection
+// dies mid-transaction and a retryable read is what discovers the loss
+// (reconnecting silently), a subsequent mutation must NOT run in
+// autocommit on the fresh connection — it fails with ErrConnLost until
+// the application starts over, or the re-run of the transaction would
+// duplicate it.
+func TestTxLostFailsMutationsAfterSilentReadRetry(t *testing.T) {
+	srv1, addr, db := startServerCfg(t, ServerConfig{GracePeriod: 100 * time.Millisecond}, nil)
+	c, err := DialWithConfig(DialConfig{
+		Addr: addr, Owner: "sneaky",
+		MaxRetries:  8,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.PBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/pre"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restartServer(t, db, addr, ServerConfig{})
+
+	// The read discovers the loss and silently reconnects.
+	if _, err := c.Stat("/", 0); err != nil {
+		t.Fatalf("idempotent read after conn loss: %v", err)
+	}
+	// Every mutation inside the dead bracket must now fail loudly.
+	if err := c.Mkdir("/lost"); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("mkdir after silent read retry = %v, want ErrConnLost", err)
+	}
+	if err := c.Rename("/pre", "/moved"); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("rename after silent read retry = %v, want ErrConnLost", err)
+	}
+	if err := c.PCommit(); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("commit after conn loss = %v, want ErrConnLost", err)
+	}
+
+	// Nothing from the dead bracket reached the store, and the re-run
+	// applies exactly once.
+	if _, err := c.Stat("/lost", 0); err == nil {
+		t.Fatal("post-loss mutation slipped into autocommit")
+	}
+	if err := c.PBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/lost"); err != nil {
+		t.Fatalf("re-run mkdir: %v", err)
+	}
+	if err := c.PCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/lost", 0); err != nil {
+		t.Fatalf("re-run commit not visible: %v", err)
+	}
+}
+
+// TestCloseInterruptsRetryingCall: Close must not wait behind a call
+// that is sleeping out its reconnect backoff schedule, and the call
+// itself must fail promptly with ErrConnLost instead of exhausting its
+// retries against a server that is never coming back.
+func TestCloseInterruptsRetryingCall(t *testing.T) {
+	srv, addr, _ := startServerCfg(t, ServerConfig{GracePeriod: 50 * time.Millisecond}, nil)
+	c, err := DialWithConfig(DialConfig{
+		Addr: addr, Owner: "impatient",
+		MaxRetries:  1000,
+		BackoffBase: 200 * time.Millisecond,
+		BackoffMax:  5 * time.Second,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Stat("/", 0)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the call enter the retry loop
+
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close blocked %v behind a retrying call", elapsed)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConnLost) {
+			t.Fatalf("interrupted call = %v, want ErrConnLost", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retrying call not interrupted by Close")
+	}
+}
+
 // TestBrokenClientFailsFast: with reconnection disabled, the first
 // transport error marks the client broken and later calls fail
 // immediately with ErrConnLost instead of hanging on a dead socket.
