@@ -217,10 +217,14 @@ func run(addr, owner string, args []string) error {
 		}
 		fmt.Printf("buffer cache: %d/%d hits/misses (%d writebacks, %d frames)\n",
 			st.CacheHits, st.CacheMisses, st.CacheWritebacks, st.CacheCapacity)
+		fmt.Printf("buffer contention: %d evictions, %d overcommits, %d load waits\n",
+			st.CacheEvictions, st.CacheOvercommits, st.CacheLoadWaits)
 		fmt.Printf("catalog: %d relations, %d types, %d functions\n",
 			st.Relations, st.Types, st.Functions)
 		fmt.Printf("transactions: horizon xid %d, last commit %s\n",
 			st.Horizon, fmtTime(st.LastCommitTime))
+		fmt.Printf("txn contention: %d/%d status-cache hits/misses, %d lock waits\n",
+			st.StatusCacheHits, st.StatusCacheMisses, st.LockWaits)
 		return nil
 	case "sh":
 		return shell(c)

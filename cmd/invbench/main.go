@@ -13,6 +13,7 @@
 //	invbench -table3         # all nine ops, three configurations
 //	invbench -local          # Inversion vs local FFS, no network
 //	invbench -ablate         # cache size, coalescing, compression, jukebox
+//	invbench -scale          # concurrent-scaling curve (wall clock)
 //	invbench -size 25        # created-file size in MB (default 25)
 package main
 
@@ -30,20 +31,21 @@ func main() {
 		table3 = flag.Bool("table3", false, "reproduce Table 3")
 		local  = flag.Bool("local", false, "local (no-network) comparison")
 		ablate = flag.Bool("ablate", false, "run ablations")
+		scale  = flag.Bool("scale", false, "concurrent-scaling curve (wall clock)")
 		all    = flag.Bool("all", false, "run everything")
 		sizeMB = flag.Int64("size", 25, "created file size in MB")
 	)
 	flag.Parse()
-	if !*table3 && !*local && !*ablate && !*all && *fig == 0 {
+	if !*table3 && !*local && !*ablate && !*scale && !*all && *fig == 0 {
 		*all = true
 	}
-	if err := run(*fig, *table3, *local, *ablate, *all, *sizeMB); err != nil {
+	if err := run(*fig, *table3, *local, *ablate, *scale, *all, *sizeMB); err != nil {
 		fmt.Fprintln(os.Stderr, "invbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table3, local, ablate, all bool, sizeMB int64) error {
+func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64) error {
 	p := bench.DefaultParams()
 	fileSize := sizeMB << 20
 	scaled := ""
@@ -96,6 +98,36 @@ func run(fig int, table3, local, ablate, all bool, sizeMB int64) error {
 			return err
 		}
 	}
+	if all || scale {
+		if err := printScaling(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printScaling runs the concurrent-scaling benchmark (wall clock, not
+// the simulated 1993 clock) and prints throughput, speedup over one
+// goroutine, and the contention counters each layer exports.
+func printScaling() error {
+	fmt.Println("Concurrent scaling (wall clock; sleeping device, pool < working set):")
+	for _, wl := range []string{bench.WorkloadRead, bench.WorkloadMixed} {
+		pts, err := bench.RunScaling(wl, []int{1, 2, 4, 8}, 400)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s:\n", wl)
+		for _, pt := range pts {
+			st := pt.Stats
+			fmt.Printf("    g=%d  %8.0f ops/s  speedup %4.2fx   "+
+				"cache %d/%d h/m, %d waits, %d overcommits; "+
+				"status-cache %d/%d h/m; %d lock waits\n",
+				pt.Goroutines, pt.OpsPerSec, pt.Speedup,
+				st.CacheHits, st.CacheMisses, st.CacheLoadWaits, st.CacheOvercommits,
+				st.StatusCacheHits, st.StatusCacheMisses, st.LockWaits)
+		}
+	}
+	fmt.Println()
 	return nil
 }
 

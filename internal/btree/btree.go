@@ -84,11 +84,13 @@ const (
 // ErrNotFound is returned when deleting an entry that does not exist.
 var ErrNotFound = errors.New("btree: entry not found")
 
-// Tree is a B-tree over one relation.
+// Tree is a B-tree over one relation. The tree lock is an RWMutex:
+// lookups and scans share it, so chunk reads and namespace resolves
+// proceed in parallel; only Insert/Delete take it exclusively.
 type Tree struct {
 	rel  device.OID
 	pool *buffer.Pool
-	mu   sync.Mutex
+	mu   sync.RWMutex
 }
 
 // Open returns a tree over relation rel, initialising the meta page and
@@ -132,8 +134,8 @@ func (t *Tree) rootPage() (uint32, error) {
 		return 0, err
 	}
 	defer t.pool.Release(f, false)
-	f.Lock()
-	defer f.Unlock()
+	f.RLock()
+	defer f.RUnlock()
 	if binary.LittleEndian.Uint32(f.Data[metaMagicO:]) != metaMagic {
 		return 0, errors.New("btree: bad meta page")
 	}

@@ -23,7 +23,7 @@ func (t *Tree) readNode(pn uint32) (nodeMem, error) {
 	if err != nil {
 		return nodeMem{}, err
 	}
-	f.Lock()
+	f.RLock()
 	d := f.Data
 	n := nodeMem{kind: nodeKind(d), link: nodeLink(d)}
 	cnt := nodeCount(d)
@@ -40,11 +40,11 @@ func (t *Tree) readNode(pn uint32) (nodeMem, error) {
 			n.ints[i] = intChild{e, c}
 		}
 	default:
-		f.Unlock()
+		f.RUnlock()
 		t.pool.Release(f, false)
 		return nodeMem{}, fmt.Errorf("btree: page %d has bad node kind %d", pn, n.kind)
 	}
-	f.Unlock()
+	f.RUnlock()
 	t.pool.Release(f, false)
 	return n, nil
 }
@@ -256,8 +256,8 @@ func (t *Tree) Delete(e Entry) error {
 // Ascend calls fn for every entry ≥ start (ordered), until fn returns
 // false.
 func (t *Tree) Ascend(start Key, fn func(Entry) bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 
 	lower := Entry{Key: start}
 	pn, err := t.rootPage()
@@ -311,8 +311,8 @@ func (t *Tree) Len() (int, error) {
 // CheckInvariants walks the tree verifying ordering and separator
 // correctness; tests call it after randomised workloads.
 func (t *Tree) CheckInvariants() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	root, err := t.rootPage()
 	if err != nil {
 		return err

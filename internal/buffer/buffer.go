@@ -6,6 +6,16 @@
 // kicked out of this cache in LRU order, regardless of the device from
 // which they came. Dirty pages are written to backing store before being
 // deleted from the cache."
+//
+// The pool is sharded: the frame map and LRU list are split across
+// numShards lock shards keyed by a hash of (relation, page), so cache
+// hits on different pages rarely contend. Capacity is still global —
+// an atomic frame count — and eviction order is still global LRU: every
+// frame carries a monotonic recency stamp assigned when it is unpinned,
+// and the evictor claims the minimum-stamp frame across all shard LRU
+// fronts. Backend I/O (miss fills, writebacks) runs with no shard lock
+// held; concurrent misses on the same page single-flight on a loading
+// placeholder frame.
 package buffer
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/device"
 	"repro/internal/page"
@@ -24,6 +35,9 @@ const (
 	DefaultBuffers = 64
 	LocalBuffers   = 300
 )
+
+// numShards is the number of lock shards; must be a power of two.
+const numShards = 16
 
 // Backend supplies and accepts pages; *device.Switch implements it.
 type Backend interface {
@@ -40,33 +54,80 @@ type Key struct {
 }
 
 // Frame is one cached page. Callers must hold the frame via Pool.Get /
-// Pool.NewPage, serialise access to Data with Lock/Unlock, and return
-// it with Pool.Release.
+// Pool.NewPage, serialise access to Data with Lock/Unlock (writers) or
+// RLock/RUnlock (readers), and return it with Pool.Release.
 type Frame struct {
 	Key  Key
 	Data page.Page
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	pins  int
 	dirty bool
 	el    *list.Element
+	stamp uint64 // global LRU recency; assigned at unpin time
+
+	// Single-flight miss handling: a frame is installed in the map in
+	// loading state before the backend read; concurrent Gets wait on
+	// loadDone instead of issuing duplicate reads.
+	loading  bool
+	loadDone chan struct{}
+	loadErr  error
 }
 
-// Lock latches the frame's contents.
+// Lock latches the frame's contents for writing.
 func (f *Frame) Lock() { f.mu.Lock() }
 
-// Unlock releases the content latch.
+// Unlock releases the write latch.
 func (f *Frame) Unlock() { f.mu.Unlock() }
+
+// RLock latches the frame's contents for reading; readers share.
+func (f *Frame) RLock() { f.mu.RLock() }
+
+// RUnlock releases the read latch.
+func (f *Frame) RUnlock() { f.mu.RUnlock() }
+
+// shard is one lock shard: a slice of the frame map plus the LRU list
+// of its unpinned frames, kept in ascending stamp order (front = least
+// recently used).
+type shard struct {
+	mu     sync.Mutex
+	frames map[Key]*Frame
+	lru    *list.List
+}
+
+// insertByStamp reinserts an unpinned frame into the LRU preserving
+// stamp order, for paths (flush unpins, failed evictions) that must not
+// count as a use.
+func (s *shard) insertByStamp(f *Frame) {
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*Frame).stamp <= f.stamp {
+			f.el = s.lru.InsertAfter(f, el)
+			return
+		}
+	}
+	f.el = s.lru.PushFront(f)
+}
+
+// PoolStats is a snapshot of the pool's counters.
+type PoolStats struct {
+	Hits        int64 // Get served from cache
+	Misses      int64 // Get that issued a backend read
+	Writebacks  int64 // dirty pages written to the backend
+	Evictions   int64 // frames dropped to make room
+	Overcommits int64 // evictions that found every frame pinned
+	LoadWaits   int64 // Gets that waited on another goroutine's load
+}
 
 // Pool is the shared LRU buffer cache.
 type Pool struct {
-	mu       sync.Mutex
 	backend  Backend
 	capacity int
-	frames   map[Key]*Frame
-	lru      *list.List // unpinned frames, front = least recently used
+	shards   [numShards]shard
+	nframes  atomic.Int64  // cached frames, global, vs capacity
+	clock    atomic.Uint64 // LRU recency stamps
 
-	hits, misses, writebacks int64
+	hits, misses, writebacks          atomic.Int64
+	evictions, overcommits, loadWaits atomic.Int64
 }
 
 // NewPool returns a cache of the given capacity (in pages) over the
@@ -75,103 +136,212 @@ func NewPool(backend Backend, capacity int) *Pool {
 	if capacity <= 0 {
 		capacity = DefaultBuffers
 	}
-	return &Pool{
-		backend:  backend,
-		capacity: capacity,
-		frames:   make(map[Key]*Frame),
-		lru:      list.New(),
+	p := &Pool{backend: backend, capacity: capacity}
+	for i := range p.shards {
+		p.shards[i].frames = make(map[Key]*Frame)
+		p.shards[i].lru = list.New()
 	}
+	return p
+}
+
+// shard maps a key to its lock shard.
+func (p *Pool) shard(k Key) *shard {
+	h := uint64(k.Rel)<<32 | uint64(k.Page)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &p.shards[h&(numShards-1)]
 }
 
 // Capacity reports the pool's frame budget.
 func (p *Pool) Capacity() int { return p.capacity }
 
-// Stats reports cache hits, misses, and dirty-page writebacks.
-func (p *Pool) Stats() (hits, misses, writebacks int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses, p.writebacks
+// Stats reports the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Writebacks:  p.writebacks.Load(),
+		Evictions:   p.evictions.Load(),
+		Overcommits: p.overcommits.Load(),
+		LoadWaits:   p.loadWaits.Load(),
+	}
 }
 
-// evictLocked makes room for one more frame, writing back a dirty
-// victim. Called with p.mu held. If every frame is pinned the pool
-// overcommits rather than deadlocking.
-//
-// The victim is written back while still cached: if the writeback
-// fails the frame stays in the map and the LRU (still dirty) and the
-// error is returned, so the only copy of a dirty page is never
-// discarded on a failing device.
-func (p *Pool) evictLocked() error {
-	for len(p.frames) >= p.capacity {
-		el := p.lru.Front()
+// pickVictim claims the globally least-recently-used unpinned frame:
+// the minimum-stamp frame across all shard LRU fronts. The claim
+// removes it from its LRU list and, if it was dirty, marks it clean in
+// anticipation of the writeback — a concurrent writer re-dirtying the
+// frame during the writeback is preserved because the eviction
+// re-checks dirty (and pins) before dropping the frame. Returns nil if
+// every frame is pinned.
+func (p *Pool) pickVictim() (*Frame, bool) {
+	for {
+		best := -1
+		var bestStamp uint64
+		for i := range p.shards {
+			s := &p.shards[i]
+			s.mu.Lock()
+			if el := s.lru.Front(); el != nil {
+				f := el.Value.(*Frame)
+				if best == -1 || f.stamp < bestStamp {
+					best, bestStamp = i, f.stamp
+				}
+			}
+			s.mu.Unlock()
+		}
+		if best == -1 {
+			return nil, false
+		}
+		s := &p.shards[best]
+		s.mu.Lock()
+		el := s.lru.Front()
 		if el == nil {
-			return nil // all pinned: overcommit
+			s.mu.Unlock()
+			continue // raced with a pin; rescan
 		}
 		f := el.Value.(*Frame)
-		if f.dirty {
-			f.Lock()
+		s.lru.Remove(el)
+		f.el = nil
+		wasDirty := f.dirty
+		f.dirty = false
+		s.mu.Unlock()
+		return f, wasDirty
+	}
+}
+
+// makeRoom evicts frames until the pool is within capacity, writing
+// back dirty victims with no shard lock held. If every frame is pinned
+// the pool overcommits (counted) rather than deadlocking.
+//
+// A dirty victim is written back while still cached: if the writeback
+// fails the frame goes back on the LRU (still dirty) and the error is
+// returned, so the only copy of a dirty page is never discarded on a
+// failing device.
+func (p *Pool) makeRoom() error {
+	for p.nframes.Load() > int64(p.capacity) {
+		f, wasDirty := p.pickVictim()
+		if f == nil {
+			p.overcommits.Add(1)
+			return nil // all pinned: overcommit
+		}
+		if wasDirty {
+			f.mu.RLock()
 			err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
-			f.Unlock()
+			f.mu.RUnlock()
 			if err != nil {
+				s := p.shard(f.Key)
+				s.mu.Lock()
+				f.dirty = true
+				if f.pins == 0 && f.el == nil && s.frames[f.Key] == f {
+					s.insertByStamp(f)
+				}
+				s.mu.Unlock()
 				return fmt.Errorf("buffer: writeback %v: %w", f.Key, err)
 			}
-			p.writebacks++
-			f.dirty = false
+			p.writebacks.Add(1)
 		}
-		p.lru.Remove(el)
-		f.el = nil
-		delete(p.frames, f.Key)
+		s := p.shard(f.Key)
+		s.mu.Lock()
+		switch {
+		case s.frames[f.Key] == f && f.pins == 0 && !f.dirty:
+			delete(s.frames, f.Key)
+			p.nframes.Add(-1)
+			p.evictions.Add(1)
+		case s.frames[f.Key] == f && f.pins == 0 && f.el == nil:
+			// Re-dirtied while being written back: keep it cached.
+			s.insertByStamp(f)
+		}
+		// Otherwise the frame was re-pinned (its holder's Release will
+		// relink it) or invalidated; either way it is not our victim.
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // Get returns the frame for (rel, pageNo), pinned. On a miss the page
-// is read from the backend.
+// is read from the backend with no shard lock held; concurrent misses
+// on the same page wait for the first loader instead of issuing
+// duplicate reads.
 func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
-	p.mu.Lock()
 	key := Key{rel, pageNo}
-	if f, ok := p.frames[key]; ok {
-		p.hits++
-		f.pins++
-		if f.el != nil {
-			p.lru.Remove(f.el)
-			f.el = nil
+	s := p.shard(key)
+	for {
+		s.mu.Lock()
+		if f, ok := s.frames[key]; ok {
+			if f.loading {
+				ch := f.loadDone
+				s.mu.Unlock()
+				p.loadWaits.Add(1)
+				<-ch
+				if err := f.loadErr; err != nil {
+					return nil, err
+				}
+				continue // loaded: the next pass pins it
+			}
+			f.pins++
+			if f.el != nil {
+				s.lru.Remove(f.el)
+				f.el = nil
+			}
+			s.mu.Unlock()
+			p.hits.Add(1)
+			return f, nil
 		}
-		p.mu.Unlock()
+		// Miss: install a loading placeholder so concurrent Gets on this
+		// key single-flight, then fill it outside the shard lock.
+		f := &Frame{
+			Key:      key,
+			Data:     make(page.Page, page.Size),
+			pins:     1,
+			loading:  true,
+			loadDone: make(chan struct{}),
+		}
+		s.frames[key] = f
+		s.mu.Unlock()
+		p.misses.Add(1)
+		p.nframes.Add(1)
+
+		err := p.makeRoom()
+		if err == nil {
+			err = p.backend.ReadPage(rel, pageNo, f.Data)
+		}
+		s.mu.Lock()
+		if err != nil && s.frames[key] == f {
+			delete(s.frames, key)
+			p.nframes.Add(-1)
+		}
+		f.loadErr = err
+		f.loading = false
+		s.mu.Unlock()
+		close(f.loadDone)
+		if err != nil {
+			return nil, err
+		}
 		return f, nil
 	}
-	p.misses++
-	if err := p.evictLocked(); err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1}
-	// Fill while holding the pool lock: backend reads are memory copies
-	// plus virtual-clock charges, so this is cheap and makes the frame
-	// fully initialised before any other goroutine can observe it.
-	if err := p.backend.ReadPage(rel, pageNo, f.Data); err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	p.frames[key] = f
-	p.mu.Unlock()
-	return f, nil
 }
 
 // NewPage extends rel by one page and returns its pinned, zeroed frame.
+// Room is made before the relation is extended: extending first would
+// leak an extended-but-uncached page if the eviction writeback failed.
 func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
-	pageNo, err := p.backend.Extend(rel)
-	if err != nil {
+	p.nframes.Add(1) // reserve the slot
+	if err := p.makeRoom(); err != nil {
+		p.nframes.Add(-1)
 		return nil, 0, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.evictLocked(); err != nil {
+	pageNo, err := p.backend.Extend(rel)
+	if err != nil {
+		p.nframes.Add(-1)
 		return nil, 0, err
 	}
 	key := Key{rel, pageNo}
 	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1, dirty: true}
-	p.frames[key] = f
+	s := p.shard(key)
+	s.mu.Lock()
+	s.frames[key] = f
+	s.mu.Unlock()
 	return f, pageNo, nil
 }
 
@@ -179,8 +349,9 @@ func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
 // Releasing a frame that is not pinned panics: a double-Release would
 // otherwise silently corrupt the pin counts and LRU invariants.
 func (p *Pool) Release(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.shard(f.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("buffer: Release of unpinned frame %v (pins=%d)", f.Key, f.pins))
 	}
@@ -188,8 +359,9 @@ func (p *Pool) Release(f *Frame, dirty bool) {
 		f.dirty = true
 	}
 	f.pins--
-	if f.pins == 0 && f.el == nil {
-		f.el = p.lru.PushBack(f)
+	if f.pins == 0 && f.el == nil && s.frames[f.Key] == f {
+		f.stamp = p.clock.Add(1)
+		f.el = s.lru.PushBack(f)
 	}
 }
 
@@ -208,14 +380,27 @@ func (p *Pool) FlushRel(rel device.OID) error {
 	return p.flushWhere(func(k Key) bool { return k.Rel == rel })
 }
 
+// flushWhere snapshots the matching dirty frames (pinning them so they
+// cannot be evicted mid-flush), then writes each back holding only that
+// frame's read latch — never a shard lock — so concurrent cache hits
+// proceed during a commit force. Unpinning restores each frame's LRU
+// position by its preserved stamp: a flush is not a use.
 func (p *Pool) flushWhere(match func(Key) bool) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var dirty []*Frame
-	for _, f := range p.frames {
-		if f.dirty && match(f.Key) {
-			dirty = append(dirty, f)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty && match(f.Key) {
+				f.pins++
+				if f.el != nil {
+					s.lru.Remove(f.el)
+					f.el = nil
+				}
+				dirty = append(dirty, f)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(dirty, func(i, j int) bool {
 		a, b := dirty[i].Key, dirty[j].Key
@@ -224,34 +409,61 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		}
 		return a.Page < b.Page
 	})
+	var firstErr error
 	for _, f := range dirty {
-		f.Lock()
+		s := p.shard(f.Key)
+		// Clear dirty before the write: a writer re-dirtying the frame
+		// during the writeback is preserved rather than lost.
+		s.mu.Lock()
+		f.dirty = false
+		s.mu.Unlock()
+		f.mu.RLock()
 		err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
-		f.Unlock()
+		f.mu.RUnlock()
 		if err != nil {
 			// The failed frame (and everything after it) stays dirty,
 			// so a retry after the device heals flushes exactly the
 			// pages that never made it out.
-			return fmt.Errorf("buffer: flush %v: %w", f.Key, err)
+			s.mu.Lock()
+			f.dirty = true
+			s.mu.Unlock()
+			firstErr = fmt.Errorf("buffer: flush %v: %w", f.Key, err)
+			break
 		}
-		p.writebacks++
-		f.dirty = false
+		p.writebacks.Add(1)
 	}
-	return nil
+	for _, f := range dirty {
+		s := p.shard(f.Key)
+		s.mu.Lock()
+		f.pins--
+		if f.pins == 0 && f.el == nil && s.frames[f.Key] == f {
+			if f.stamp == 0 {
+				f.stamp = p.clock.Add(1)
+			}
+			s.insertByStamp(f)
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
 }
 
 // InvalidateRel drops all frames of a relation without writing them,
 // for use after dropping the relation.
 func (p *Pool) InvalidateRel(rel device.OID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for key, f := range p.frames {
-		if key.Rel == rel {
-			if f.el != nil {
-				p.lru.Remove(f.el)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for key, f := range s.frames {
+			if key.Rel == rel {
+				if f.el != nil {
+					s.lru.Remove(f.el)
+					f.el = nil
+				}
+				delete(s.frames, key)
+				p.nframes.Add(-1)
 			}
-			delete(p.frames, key)
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -259,10 +471,14 @@ func (p *Pool) InvalidateRel(rel device.OID) {
 // simulates losing volatile memory so recovery tests can verify that
 // the status log alone reconstructs a consistent state.
 func (p *Pool) Crash() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[Key]*Frame)
-	p.lru.Init()
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.frames = make(map[Key]*Frame)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+	p.nframes.Store(0)
 }
 
 // NPages reports the relation's page count from the backend.

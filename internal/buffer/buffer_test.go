@@ -32,9 +32,9 @@ func TestGetMissAndHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Release(f2, false)
-	hits, misses, _ := p.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d", hits, misses)
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", st.Hits, st.Misses)
 	}
 }
 
@@ -66,8 +66,7 @@ func TestEvictionWritesBackDirty(t *testing.T) {
 	if got != 1 {
 		t.Fatalf("evicted page lost contents: %d", got)
 	}
-	_, _, wb := p.Stats()
-	if wb == 0 {
+	if p.Stats().Writebacks == 0 {
 		t.Fatal("no writebacks recorded")
 	}
 }

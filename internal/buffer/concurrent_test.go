@@ -1,0 +1,120 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"sync/atomic"
+)
+
+// countingBackend counts ReadPage calls and can hold them on a gate so
+// a test can pile up concurrent misses behind one in-flight load.
+type countingBackend struct {
+	Backend
+	reads atomic.Int64
+	gate  chan struct{} // when non-nil, ReadPage blocks until closed
+}
+
+func (b *countingBackend) ReadPage(rel device.OID, pn uint32, buf []byte) error {
+	b.reads.Add(1)
+	if b.gate != nil {
+		<-b.gate
+	}
+	return b.Backend.ReadPage(rel, pn, buf)
+}
+
+// TestConcurrentGetSingleFlight: concurrent misses on the same page
+// must issue exactly one backend read and share one frame — the
+// waiters block on the loading frame, not on a duplicate I/O.
+func TestConcurrentGetSingleFlight(t *testing.T) {
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	cb := &countingBackend{Backend: sw, gate: make(chan struct{})}
+	p := NewPool(cb, 8)
+
+	const goroutines = 8
+	frames := make([]*Frame, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			frames[g], errs[g] = p.Get(1, 0)
+		}(g)
+	}
+	// Hold the loader on the gate until every other goroutine is
+	// waiting on the loading frame, so the misses really are
+	// concurrent, then let the load finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().LoadWaits < goroutines-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d goroutines waited on the load", p.Stats().LoadWaits, goroutines-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(cb.gate)
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+		if frames[g] != frames[0] {
+			t.Fatalf("goroutine %d got a duplicate frame for the same page", g)
+		}
+		p.Release(frames[g], false)
+	}
+	if got := cb.reads.Load(); got != 1 {
+		t.Fatalf("backend reads = %d, want 1 (single-flight)", got)
+	}
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", st.Hits, st.Misses, goroutines-1)
+	}
+}
+
+// TestOvercommitCounted: when every frame is pinned the pool exceeds
+// capacity rather than deadlocking, and says so in its stats.
+func TestOvercommitCounted(t *testing.T) {
+	p, sw := newPool(t, 2)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	var frames []*Frame
+	for i := 0; i < 3; i++ {
+		f, _, err := p.NewPage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if got := p.Stats().Overcommits; got != 1 {
+		t.Fatalf("overcommits = %d, want 1", got)
+	}
+	for _, f := range frames {
+		p.Release(f, false)
+	}
+	// With frames unpinned again, the next demand shrinks the pool back
+	// to capacity instead of overcommitting further.
+	f, _, err := p.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f, true)
+	st := p.Stats()
+	if st.Overcommits != 1 {
+		t.Fatalf("overcommits after recovery = %d, want 1", st.Overcommits)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded while shrinking back to capacity")
+	}
+}

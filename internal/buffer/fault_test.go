@@ -88,7 +88,7 @@ func TestFlushAllPartialFailure(t *testing.T) {
 	for pn := uint32(0); pn < 4; pn++ {
 		dirtyPage(t, p, pn, byte(0xB0+pn))
 	}
-	_, _, wbBefore := p.Stats()
+	wbBefore := p.Stats().Writebacks
 
 	// Writes go out in (rel, page) order; the third fails.
 	faulty.FailNth(device.FaultWrite, 3, nil)
@@ -99,7 +99,7 @@ func TestFlushAllPartialFailure(t *testing.T) {
 	if !strings.Contains(err.Error(), "buffer: flush") {
 		t.Fatalf("error lacks flush context: %v", err)
 	}
-	_, _, wb := p.Stats()
+	wb := p.Stats().Writebacks
 	if wb-wbBefore != 2 {
 		t.Fatalf("writebacks after partial flush = %d, want 2 (failed write must not count)", wb-wbBefore)
 	}
@@ -108,7 +108,7 @@ func TestFlushAllPartialFailure(t *testing.T) {
 	if err := p.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	_, _, wb = p.Stats()
+	wb = p.Stats().Writebacks
 	if wb-wbBefore != 4 {
 		t.Fatalf("writebacks after retry = %d, want 4", wb-wbBefore)
 	}
@@ -152,9 +152,9 @@ func TestGetReadFailureDoesNotCachePartialFrame(t *testing.T) {
 		t.Fatalf("retry: %v", err)
 	}
 	p.Release(f, false)
-	hits, misses, _ := p.Stats()
-	if hits != 0 || misses != 2 {
-		t.Fatalf("hits=%d misses=%d, want 0/2", hits, misses)
+	st := p.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", st.Hits, st.Misses)
 	}
 }
 

@@ -105,7 +105,7 @@ type DB struct {
 	fileIdx *btree.Tree
 	attIdx  *btree.Tree
 
-	relMu   sync.Mutex
+	relMu   sync.RWMutex
 	rels    map[device.OID]*heap.Relation
 	trees   map[device.OID]*btree.Tree
 	funcMu  sync.RWMutex
@@ -291,21 +291,38 @@ type Stats struct {
 	Functions       int
 	Horizon         txn.XID // oldest XID any live snapshot can need
 	LastCommitTime  int64
+
+	// Concurrency observables: buffer-pool pressure and the txn
+	// manager's visibility fast path.
+	CacheEvictions   int64
+	CacheOvercommits int64 // demand exceeded capacity with all frames pinned
+	CacheLoadWaits   int64 // Gets that waited behind another goroutine's load
+	StatusCacheHits  int64 // committed-XID cache hits (lock-free visibility)
+	StatusCacheMisses int64
+	LockWaits        int64 // lock requests that had to queue
 }
 
 // Stats reports operational counters.
 func (db *DB) Stats() Stats {
-	hits, misses, wb := db.pool.Stats()
+	ps := db.pool.Stats()
+	sh, sm := db.mgr.StatusCacheStats()
 	return Stats{
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheWritebacks: wb,
+		CacheHits:       ps.Hits,
+		CacheMisses:     ps.Misses,
+		CacheWritebacks: ps.Writebacks,
 		CacheCapacity:   db.pool.Capacity(),
 		Relations:       len(db.cat.Relations()),
 		Types:           len(db.cat.Types()),
 		Functions:       len(db.cat.Functions()),
 		Horizon:         db.mgr.Horizon(),
 		LastCommitTime:  db.mgr.LastCommitTime(),
+
+		CacheEvictions:    ps.Evictions,
+		CacheOvercommits:  ps.Overcommits,
+		CacheLoadWaits:    ps.LoadWaits,
+		StatusCacheHits:   sh,
+		StatusCacheMisses: sm,
+		LockWaits:         db.mgr.Locks().Waits(),
 	}
 }
 
@@ -328,32 +345,44 @@ func (db *DB) Crash() { db.pool.Crash() }
 func (db *DB) Recover() (*DB, error) { return Open(db.sw, db.opts) }
 
 // dataRel returns (caching) the heap relation handle for a file's
-// chunk table.
+// chunk table. The fast path is a shared-lock map read; only the first
+// access of a relation takes the write lock.
 func (db *DB) dataRel(oid device.OID) *heap.Relation {
+	db.relMu.RLock()
+	r, ok := db.rels[oid]
+	db.relMu.RUnlock()
+	if ok {
+		return r
+	}
 	db.relMu.Lock()
 	defer db.relMu.Unlock()
-	r, ok := db.rels[oid]
-	if !ok {
-		r = heap.Open(oid, db.pool, db.mgr)
-		db.rels[oid] = r
+	if r, ok := db.rels[oid]; ok {
+		return r
 	}
+	r = heap.Open(oid, db.pool, db.mgr)
+	db.rels[oid] = r
 	return r
 }
 
 // chunkTree returns (caching) the B-tree handle for a file's chunk
-// index.
+// index, with the same shared-lock fast path as dataRel.
 func (db *DB) chunkTree(oid device.OID) (*btree.Tree, error) {
+	db.relMu.RLock()
+	t, ok := db.trees[oid]
+	db.relMu.RUnlock()
+	if ok {
+		return t, nil
+	}
 	db.relMu.Lock()
 	defer db.relMu.Unlock()
-	t, ok := db.trees[oid]
-	if !ok {
-		var err error
-		t, err = btree.Open(oid, db.pool)
-		if err != nil {
-			return nil, err
-		}
-		db.trees[oid] = t
+	if t, ok := db.trees[oid]; ok {
+		return t, nil
 	}
+	t, err := btree.Open(oid, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	db.trees[oid] = t
 	return t, nil
 }
 

@@ -124,10 +124,12 @@ func (f *Faulty) FailProb(op FaultOp, p float64, err error) *Faulty {
 //
 // The hook runs with no Faulty lock held, but the faulting operation is
 // still on the caller's stack: a hook must not re-enter a lock the
-// caller holds. In particular, arm crash hooks that call
-// buffer.Pool.Crash on log-relation writes (which commit issues outside
-// the pool lock), not on data-page writebacks (which the pool issues
-// while holding its own mutex).
+// caller holds. buffer.Pool.Crash is safe from log-relation writes
+// (commit issues them outside the pool) and from data-page writebacks
+// (the sharded pool issues those holding only the victim frame's
+// latch, which Crash never takes); the conventional arming point is
+// still the status-log write, because that is where a torn commit is
+// semantically interesting.
 func (f *Faulty) CrashOn(op FaultOp, n uint64, hook func()) *Faulty {
 	return f.arm(&faultRule{op: op, nth: n, err: ErrCrashed, hook: hook, oneShot: true})
 }

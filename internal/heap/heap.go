@@ -176,8 +176,8 @@ func (r *Relation) Fetch(snap *txn.Snapshot, tid TID) ([]byte, error) {
 		return nil, err
 	}
 	defer r.pool.Release(f, false)
-	f.Lock()
-	defer f.Unlock()
+	f.RLock()
+	defer f.RUnlock()
 	item := f.Data.Item(int(tid.Slot))
 	if item == nil {
 		return nil, ErrNoRecord
@@ -200,8 +200,8 @@ func (r *Relation) Stamps(tid TID) (xmin, xmax txn.XID, err error) {
 		return 0, 0, err
 	}
 	defer r.pool.Release(f, false)
-	f.Lock()
-	defer f.Unlock()
+	f.RLock()
+	defer f.RUnlock()
 	item := f.Data.Item(int(tid.Slot))
 	if item == nil {
 		return 0, 0, ErrNoRecord
@@ -223,9 +223,9 @@ func (r *Relation) Scan(snap *txn.Snapshot, fn func(tid TID, payload []byte) (st
 		if err != nil {
 			return err
 		}
-		f.Lock()
+		f.RLock()
 		if !f.Data.Initialized() {
-			f.Unlock()
+			f.RUnlock()
 			r.pool.Release(f, false)
 			continue
 		}
@@ -248,7 +248,7 @@ func (r *Relation) Scan(snap *txn.Snapshot, fn func(tid TID, payload []byte) (st
 			copy(p, item[recordHeader:])
 			hits = append(hits, hit{TID{pn, uint16(s)}, p})
 		}
-		f.Unlock()
+		f.RUnlock()
 		r.pool.Release(f, false)
 		for _, h := range hits {
 			stop, err := fn(h.tid, h.payload)
@@ -275,9 +275,9 @@ func (r *Relation) ScanAll(fn func(tid TID, xmin, xmax txn.XID, payload []byte) 
 		if err != nil {
 			return err
 		}
-		f.Lock()
+		f.RLock()
 		if !f.Data.Initialized() {
-			f.Unlock()
+			f.RUnlock()
 			r.pool.Release(f, false)
 			continue
 		}
@@ -301,7 +301,7 @@ func (r *Relation) ScanAll(fn func(tid TID, xmin, xmax txn.XID, payload []byte) 
 				p,
 			})
 		}
-		f.Unlock()
+		f.RUnlock()
 		r.pool.Release(f, false)
 		for _, row := range rows {
 			stop, err := fn(row.tid, row.xmin, row.xmax, row.payload)

@@ -3,6 +3,7 @@ package txn
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/device"
 )
@@ -71,7 +72,13 @@ type LockManager struct {
 	held     map[XID]map[LockTag]LockMode
 	waitsFor map[XID]map[XID]bool
 	waiting  map[XID]*waitEntry
+
+	waits atomic.Int64 // acquisitions that had to queue (contention)
 }
+
+// Waits reports how many lock acquisitions blocked behind a
+// conflicting holder — the 2PL contention observable.
+func (m *LockManager) Waits() int64 { return m.waits.Load() }
 
 // NewLockManager returns an empty lock manager.
 func NewLockManager() *LockManager {
@@ -182,6 +189,7 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 	ls.queue = append(ls.queue, w)
 	m.waitsFor[xid] = blockers
 	m.waiting[xid] = &waitEntry{tag: tag, w: w}
+	m.waits.Add(1)
 	m.mu.Unlock()
 
 	err := <-w.ready

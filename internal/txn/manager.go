@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,15 +16,37 @@ var (
 	ErrReadOnlyTx = errors.New("txn: historical snapshots may not be written")
 )
 
+// commitCacheSize is the committed-XID cache's slot count (a power of
+// two; XIDs map to slots by low bits).
+const commitCacheSize = 8192
+
+// commitEntry is one cached commit outcome: the XID and its commit
+// time. Only durably final commits are cached — a slot is written
+// either after the status log force succeeded or after the transaction
+// has left the live set — so a hit can answer both StatusOf and
+// CommitTime without any lock.
+type commitEntry struct {
+	xid XID
+	t   int64
+}
+
 // Manager coordinates transactions: it hands out XIDs, tracks the live
 // set, records outcomes in the status log, and owns the lock manager.
+// The mutex is an RWMutex: visibility checks (StatusOf, snapshot
+// construction, Horizon) take the read side, so MVCC reads do not
+// contend with each other — only Begin and transaction end take it
+// exclusively, and the hottest check of all, "did x commit?", is
+// usually answered by the lock-free committed-XID cache.
 type Manager struct {
-	mu             sync.Mutex
+	mu             sync.RWMutex
 	log            *Log
 	locks          *LockManager
 	next           XID
 	live           map[XID]bool
 	lastCommitTime int64
+
+	commitCache                        [commitCacheSize]atomic.Pointer[commitEntry]
+	statusCacheHits, statusCacheMisses atomic.Int64
 
 	// TimeSource supplies commit timestamps (nanoseconds). It defaults
 	// to wall-clock time; tests inject deterministic sources. Commit
@@ -53,6 +76,27 @@ func NewManager(log *Log) *Manager {
 
 // Locks exposes the lock manager.
 func (m *Manager) Locks() *LockManager { return m.locks }
+
+// cacheCommit records a durably committed XID in the lock-free cache.
+// Callers must only pass outcomes that can no longer change.
+func (m *Manager) cacheCommit(x XID, t int64) {
+	m.commitCache[uint64(x)&(commitCacheSize-1)].Store(&commitEntry{xid: x, t: t})
+}
+
+// cachedCommit reports x's commit time if the cache knows x committed.
+func (m *Manager) cachedCommit(x XID) (int64, bool) {
+	e := m.commitCache[uint64(x)&(commitCacheSize-1)].Load()
+	if e != nil && e.xid == x {
+		return e.t, true
+	}
+	return 0, false
+}
+
+// StatusCacheStats reports committed-XID cache hits and misses — the
+// contention observable for the visibility-check fast path.
+func (m *Manager) StatusCacheStats() (hits, misses int64) {
+	return m.statusCacheHits.Load(), m.statusCacheMisses.Load()
+}
 
 // Log exposes the status log (for tests and the vacuum cleaner).
 func (m *Manager) Log() *Log { return m.log }
@@ -194,6 +238,11 @@ func (tx *Tx) Commit() error {
 		tx.finish(false)
 		return fmt.Errorf("txn: commit force failed, transaction aborted: %w", err)
 	}
+	// The commit record is on stable storage: the outcome is final, so
+	// it may enter the lock-free cache. Caching before the force could
+	// leak the transient committed state a failed force converts to an
+	// abort.
+	m.cacheCommit(tx.id, t)
 	tx.finish(true)
 	return nil
 }
@@ -237,9 +286,14 @@ func (tx *Tx) Done() bool {
 // in-progress; transactions the log never saw commit or abort are
 // aborted (they died in a crash).
 func (m *Manager) StatusOf(x XID) Status {
-	m.mu.Lock()
+	if _, ok := m.cachedCommit(x); ok {
+		m.statusCacheHits.Add(1)
+		return StatusCommitted
+	}
+	m.statusCacheMisses.Add(1)
+	m.mu.RLock()
 	liveNow := m.live[x]
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	if liveNow {
 		return StatusInProgress
 	}
@@ -247,16 +301,28 @@ func (m *Manager) StatusOf(x XID) Status {
 	if s == StatusInProgress {
 		return StatusAborted
 	}
+	if s == StatusCommitted {
+		// x is not live, so its end has completed and the logged state
+		// can no longer change: safe to cache. (While a commit's force
+		// is still in flight the transaction is live, so the transient
+		// committed state a failed force rolls back never gets here.)
+		m.cacheCommit(x, m.log.CommitTime(x))
+	}
 	return s
 }
 
 // CommitTime reports when x committed (0 if it did not).
-func (m *Manager) CommitTime(x XID) int64 { return m.log.CommitTime(x) }
+func (m *Manager) CommitTime(x XID) int64 {
+	if t, ok := m.cachedCommit(x); ok {
+		return t
+	}
+	return m.log.CommitTime(x)
+}
 
 // LastCommitTime reports the most recent commit timestamp.
 func (m *Manager) LastCommitTime() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.lastCommitTime
 }
 
@@ -266,8 +332,8 @@ func (m *Manager) LastCommitTime() int64 {
 // the horizon are invisible to every current snapshot, so the vacuum
 // cleaner may collect them.
 func (m *Manager) Horizon() XID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	h := m.next
 	for x := range m.live {
 		if x < h {
@@ -288,13 +354,13 @@ func (m *Manager) AsOf(t int64) *Snapshot {
 // CurrentSnapshot returns a read-only snapshot of the latest committed
 // state, outside any transaction.
 func (m *Manager) CurrentSnapshot() *Snapshot {
-	m.mu.Lock()
+	m.mu.RLock()
 	running := make(map[XID]bool, len(m.live))
 	for x := range m.live {
 		running[x] = true
 	}
 	xmax := m.next
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	return &Snapshot{mgr: m, xmax: xmax, running: running}
 }
 
@@ -305,7 +371,7 @@ func (m *Manager) CurrentSnapshot() *Snapshot {
 // competitor's commit that happened between this transaction's start
 // and its lock acquisition, producing write skew.
 func (m *Manager) CurrentSnapshotFor(self XID) *Snapshot {
-	m.mu.Lock()
+	m.mu.RLock()
 	running := make(map[XID]bool, len(m.live))
 	for x := range m.live {
 		if x != self {
@@ -313,7 +379,7 @@ func (m *Manager) CurrentSnapshotFor(self XID) *Snapshot {
 		}
 	}
 	xmax := m.next
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	return &Snapshot{mgr: m, self: self, xmax: xmax, running: running}
 }
 

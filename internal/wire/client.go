@@ -597,6 +597,12 @@ type Stats struct {
 	Relations, Types, Functions             int
 	Horizon                                 uint32
 	LastCommitTime                          int64
+
+	// Per-layer contention observables (buffer pool, txn visibility
+	// cache, 2PL lock queue).
+	CacheEvictions, CacheOvercommits, CacheLoadWaits int64
+	StatusCacheHits, StatusCacheMisses               int64
+	LockWaits                                        int64
 }
 
 // Stats fetches the server's operational counters.
@@ -616,6 +622,13 @@ func (c *Client) Stats() (Stats, error) {
 		Functions:       int(r.Uint32()),
 		Horizon:         r.Uint32(),
 		LastCommitTime:  r.Int64(),
+
+		CacheEvictions:    r.Int64(),
+		CacheOvercommits:  r.Int64(),
+		CacheLoadWaits:    r.Int64(),
+		StatusCacheHits:   r.Int64(),
+		StatusCacheMisses: r.Int64(),
+		LockWaits:         r.Int64(),
 	}
 	return st, r.Err()
 }

@@ -1,0 +1,173 @@
+package inversion_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/inversion"
+)
+
+// Concurrent stress over the public facade: several sessions hammer
+// one database with a mix of creates, overwrites, reads, and directory
+// listings. Every byte written is derived deterministically from
+// (goroutine, iteration), so every read — both the goroutine's own
+// read-back and the final single-threaded sweep — can be verified
+// byte-exact. Run under -race in CI, this is the end-to-end check that
+// the sharded buffer pool, read-shared indexes, and txn visibility
+// cache keep their promises when actually raced.
+
+func stressContent(g, k int) []byte {
+	// Vary the length so files span one to several 4 KB chunks and
+	// overwrites change size in both directions.
+	n := 512 + ((g*7+k*13)%9)*1024
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(g*31 + k*17 + i)
+	}
+	return data
+}
+
+func stressSharedContent(j int) []byte {
+	data := make([]byte, 6*1024)
+	for i := range data {
+		data[i] = byte(j*41 + i)
+	}
+	return data
+}
+
+// retryDeadlock runs op, retrying while it loses a deadlock. Autocommit
+// operations abort their transaction on error, so a plain retry is safe.
+func retryDeadlock(op func() error) error {
+	for {
+		err := op()
+		if !errors.Is(err, inversion.ErrDeadlock) {
+			return err
+		}
+	}
+}
+
+func TestPublicConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 12
+		shared     = 6
+	)
+	db, err := inversion.OpenMemory(inversion.Options{Buffers: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := db.NewSession("setup")
+	if err := setup.Mkdir("/stress"); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < shared; j++ {
+		path := fmt.Sprintf("/stress/shared-%d", j)
+		if err := setup.WriteFile(path, stressSharedContent(j), inversion.CreateOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = func() error {
+				s := db.NewSession(fmt.Sprintf("stress-%d", g))
+				for k := 0; k < iters; k++ {
+					// Create (k==0) or overwrite a private file, read it
+					// straight back, and verify byte-exact.
+					path := fmt.Sprintf("/stress/g%d", g)
+					want := stressContent(g, k)
+					if err := retryDeadlock(func() error {
+						return s.WriteFile(path, want, inversion.CreateOpts{})
+					}); err != nil {
+						return fmt.Errorf("write %s iter %d: %w", path, k, err)
+					}
+					got, err := s.ReadFile(path)
+					if err != nil {
+						return fmt.Errorf("read-back %s iter %d: %w", path, k, err)
+					}
+					if !bytes.Equal(got, want) {
+						return fmt.Errorf("read-back %s iter %d: %d bytes, want %d", path, k, len(got), len(want))
+					}
+					// Read a shared file someone else may be evicting.
+					j := (g + k) % shared
+					got, err = s.ReadFile(fmt.Sprintf("/stress/shared-%d", j))
+					if err != nil {
+						return fmt.Errorf("shared read %d iter %d: %w", j, k, err)
+					}
+					if !bytes.Equal(got, stressSharedContent(j)) {
+						return fmt.Errorf("shared read %d iter %d: bytes differ", j, k)
+					}
+					// List the directory other goroutines are creating
+					// into; our own file must be visible to us.
+					entries, err := s.ReadDir("/stress")
+					if err != nil {
+						return fmt.Errorf("readdir iter %d: %w", k, err)
+					}
+					seen := false
+					for _, e := range entries {
+						if e.Name == fmt.Sprintf("g%d", g) {
+							seen = true
+						}
+					}
+					if !seen {
+						return fmt.Errorf("readdir iter %d: own file missing", k)
+					}
+					// Every few iterations, create a fresh file too, so
+					// directory inserts race with the listings above.
+					if k%4 == 1 {
+						extra := fmt.Sprintf("/stress/g%d-extra%d", g, k)
+						if err := retryDeadlock(func() error {
+							return s.WriteFile(extra, want[:256], inversion.CreateOpts{})
+						}); err != nil {
+							return fmt.Errorf("create %s: %w", extra, err)
+						}
+					}
+				}
+				return nil
+			}()
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Single-threaded sweep from a fresh session: final state of every
+	// file must be byte-exact.
+	check := db.NewSession("check")
+	for j := 0; j < shared; j++ {
+		got, err := check.ReadFile(fmt.Sprintf("/stress/shared-%d", j))
+		if err != nil || !bytes.Equal(got, stressSharedContent(j)) {
+			t.Fatalf("final shared-%d: %d bytes, err %v", j, len(got), err)
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		want := stressContent(g, iters-1)
+		got, err := check.ReadFile(fmt.Sprintf("/stress/g%d", g))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("final g%d: %d bytes (want %d), err %v", g, len(got), len(want), err)
+		}
+		for k := 0; k < iters; k++ {
+			if k%4 != 1 {
+				continue
+			}
+			want := stressContent(g, k)[:256]
+			got, err := check.ReadFile(fmt.Sprintf("/stress/g%d-extra%d", g, k))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("final g%d-extra%d: err %v", g, k, err)
+			}
+		}
+	}
+}
