@@ -66,6 +66,13 @@ type Frame struct {
 	el    *list.Element
 	stamp uint64 // global LRU recency; assigned at unpin time
 
+	// dirtyVer is bumped (under the shard lock) every time dirty is
+	// set. A writeback snapshots it before the backend write and clears
+	// dirty afterwards only if it is unchanged, so the bit never goes
+	// false before the data is durably on the backend and a writer who
+	// re-dirtied the frame mid-write is never silently cleaned.
+	dirtyVer uint64
+
 	// Single-flight miss handling: a frame is installed in the map in
 	// loading state before the backend read; concurrent Gets wait on
 	// loadDone instead of issuing duplicate reads.
@@ -170,12 +177,13 @@ func (p *Pool) Stats() PoolStats {
 
 // pickVictim claims the globally least-recently-used unpinned frame:
 // the minimum-stamp frame across all shard LRU fronts. The claim
-// removes it from its LRU list and, if it was dirty, marks it clean in
-// anticipation of the writeback — a concurrent writer re-dirtying the
-// frame during the writeback is preserved because the eviction
-// re-checks dirty (and pins) before dropping the frame. Returns nil if
-// every frame is pinned.
-func (p *Pool) pickVictim() (*Frame, bool) {
+// removes it from its LRU list but leaves the dirty bit alone — it is
+// cleared only after the writeback durably succeeds, so a concurrent
+// flush scanning for dirty frames can never mistake a page with an
+// in-flight (and possibly failing) writeback for a clean one. Returns
+// the frame, its dirty version at claim time, and whether it was
+// dirty; nil if every frame is pinned.
+func (p *Pool) pickVictim() (*Frame, uint64, bool) {
 	for {
 		best := -1
 		var bestStamp uint64
@@ -191,7 +199,7 @@ func (p *Pool) pickVictim() (*Frame, bool) {
 			s.mu.Unlock()
 		}
 		if best == -1 {
-			return nil, false
+			return nil, 0, false
 		}
 		s := &p.shards[best]
 		s.mu.Lock()
@@ -203,10 +211,9 @@ func (p *Pool) pickVictim() (*Frame, bool) {
 		f := el.Value.(*Frame)
 		s.lru.Remove(el)
 		f.el = nil
-		wasDirty := f.dirty
-		f.dirty = false
+		ver, wasDirty := f.dirtyVer, f.dirty
 		s.mu.Unlock()
-		return f, wasDirty
+		return f, ver, wasDirty
 	}
 }
 
@@ -214,13 +221,17 @@ func (p *Pool) pickVictim() (*Frame, bool) {
 // back dirty victims with no shard lock held. If every frame is pinned
 // the pool overcommits (counted) rather than deadlocking.
 //
-// A dirty victim is written back while still cached: if the writeback
-// fails the frame goes back on the LRU (still dirty) and the error is
+// A dirty victim is written back while still cached and still marked
+// dirty — the bit is cleared only once the write has succeeded (and
+// only if no writer re-dirtied the frame meanwhile), so a concurrent
+// commit force scanning for dirty frames writes the page itself rather
+// than trusting a writeback that may yet fail. If the writeback fails
+// the frame goes back on the LRU (still dirty) and the error is
 // returned, so the only copy of a dirty page is never discarded on a
 // failing device.
 func (p *Pool) makeRoom() error {
 	for p.nframes.Load() > int64(p.capacity) {
-		f, wasDirty := p.pickVictim()
+		f, ver, wasDirty := p.pickVictim()
 		if f == nil {
 			p.overcommits.Add(1)
 			return nil // all pinned: overcommit
@@ -229,22 +240,25 @@ func (p *Pool) makeRoom() error {
 			f.mu.RLock()
 			err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 			f.mu.RUnlock()
+			s := p.shard(f.Key)
+			s.mu.Lock()
 			if err != nil {
-				s := p.shard(f.Key)
-				s.mu.Lock()
-				f.dirty = true
 				if f.pins == 0 && f.el == nil && s.frames[f.Key] == f {
 					s.insertByStamp(f)
 				}
 				s.mu.Unlock()
 				return fmt.Errorf("buffer: writeback %v: %w", f.Key, err)
 			}
+			if f.dirtyVer == ver {
+				f.dirty = false
+			}
+			s.mu.Unlock()
 			p.writebacks.Add(1)
 		}
 		s := p.shard(f.Key)
 		s.mu.Lock()
 		switch {
-		case s.frames[f.Key] == f && f.pins == 0 && !f.dirty:
+		case s.frames[f.Key] == f && f.pins == 0 && f.el == nil && !f.dirty:
 			delete(s.frames, f.Key)
 			p.nframes.Add(-1)
 			p.evictions.Add(1)
@@ -253,7 +267,8 @@ func (p *Pool) makeRoom() error {
 			s.insertByStamp(f)
 		}
 		// Otherwise the frame was re-pinned (its holder's Release will
-		// relink it) or invalidated; either way it is not our victim.
+		// relink it), relinked by a concurrent flush's unpin, or
+		// invalidated; either way it is not our victim any more.
 		s.mu.Unlock()
 	}
 	return nil
@@ -297,10 +312,13 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 			loading:  true,
 			loadDone: make(chan struct{}),
 		}
+		// Count the frame while still holding the shard lock that
+		// installs it, so Crash (which zeroes the count under all shard
+		// locks) cannot interleave and leave nframes overcounted.
 		s.frames[key] = f
+		p.nframes.Add(1)
 		s.mu.Unlock()
 		p.misses.Add(1)
-		p.nframes.Add(1)
 
 		err := p.makeRoom()
 		if err == nil {
@@ -337,7 +355,7 @@ func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
 		return nil, 0, err
 	}
 	key := Key{rel, pageNo}
-	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1, dirty: true}
+	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1, dirty: true, dirtyVer: 1}
 	s := p.shard(key)
 	s.mu.Lock()
 	s.frames[key] = f
@@ -357,6 +375,7 @@ func (p *Pool) Release(f *Frame, dirty bool) {
 	}
 	if dirty {
 		f.dirty = true
+		f.dirtyVer++
 	}
 	f.pins--
 	if f.pins == 0 && f.el == nil && s.frames[f.Key] == f {
@@ -383,8 +402,13 @@ func (p *Pool) FlushRel(rel device.OID) error {
 // flushWhere snapshots the matching dirty frames (pinning them so they
 // cannot be evicted mid-flush), then writes each back holding only that
 // frame's read latch — never a shard lock — so concurrent cache hits
-// proceed during a commit force. Unpinning restores each frame's LRU
-// position by its preserved stamp: a flush is not a use.
+// proceed during a commit force. A frame's dirty bit is cleared only
+// after its write returns success, and only if its dirty version is
+// unchanged (no writer re-dirtied it mid-write); a frame some
+// concurrent writeback already cleaned is skipped, because a clear
+// dirty bit now proves the data is durably on the backend. Unpinning
+// restores each frame's LRU position by its preserved stamp: a flush
+// is not a use.
 func (p *Pool) flushWhere(match func(Key) bool) error {
 	var dirty []*Frame
 	for i := range p.shards {
@@ -412,24 +436,30 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 	var firstErr error
 	for _, f := range dirty {
 		s := p.shard(f.Key)
-		// Clear dirty before the write: a writer re-dirtying the frame
-		// during the writeback is preserved rather than lost.
 		s.mu.Lock()
-		f.dirty = false
+		if !f.dirty {
+			// A concurrent writeback completed since the snapshot; the
+			// page is already durable.
+			s.mu.Unlock()
+			continue
+		}
+		ver := f.dirtyVer
 		s.mu.Unlock()
 		f.mu.RLock()
 		err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 		f.mu.RUnlock()
 		if err != nil {
-			// The failed frame (and everything after it) stays dirty,
-			// so a retry after the device heals flushes exactly the
-			// pages that never made it out.
-			s.mu.Lock()
-			f.dirty = true
-			s.mu.Unlock()
+			// The failed frame (and everything after it) stays dirty —
+			// the bit was never cleared — so a retry after the device
+			// heals flushes exactly the pages that never made it out.
 			firstErr = fmt.Errorf("buffer: flush %v: %w", f.Key, err)
 			break
 		}
+		s.mu.Lock()
+		if f.dirtyVer == ver {
+			f.dirty = false
+		}
+		s.mu.Unlock()
 		p.writebacks.Add(1)
 	}
 	for _, f := range dirty {
@@ -469,16 +499,24 @@ func (p *Pool) InvalidateRel(rel device.OID) {
 
 // Crash discards every frame, dirty or not, without writing. It
 // simulates losing volatile memory so recovery tests can verify that
-// the status log alone reconstructs a consistent state.
+// the status log alone reconstructs a consistent state. All shard
+// locks are held (acquired in index order — the one place the pool
+// nests shard mutexes) while the maps are cleared and the frame count
+// zeroed, so a concurrent Get cannot install-and-count a frame between
+// the two and skew nframes for the life of the pool.
 func (p *Pool) Crash() {
 	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+	for i := range p.shards {
 		s := &p.shards[i]
-		s.mu.Lock()
 		s.frames = make(map[Key]*Frame)
 		s.lru.Init()
-		s.mu.Unlock()
 	}
 	p.nframes.Store(0)
+	for i := range p.shards {
+		p.shards[i].mu.Unlock()
+	}
 }
 
 // NPages reports the relation's page count from the backend.

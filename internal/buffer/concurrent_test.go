@@ -1,11 +1,13 @@
 package buffer
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/page"
 	"sync/atomic"
 )
 
@@ -116,5 +118,214 @@ func TestOvercommitCounted(t *testing.T) {
 	}
 	if st.Evictions == 0 {
 		t.Fatal("no evictions recorded while shrinking back to capacity")
+	}
+}
+
+// writeHookBackend runs a hook before each backend write; a non-nil
+// hook error is returned without touching the underlying backend.
+type writeHookBackend struct {
+	Backend
+	onWrite func(rel device.OID, pn uint32) error
+}
+
+func (b *writeHookBackend) WritePage(rel device.OID, pn uint32, buf []byte) error {
+	if b.onWrite != nil {
+		if err := b.onWrite(rel, pn); err != nil {
+			return err
+		}
+	}
+	return b.Backend.WritePage(rel, pn, buf)
+}
+
+// newHookPool builds a pool of the given capacity over a
+// writeHookBackend wrapping a switch with n pre-extended pages.
+func newHookPool(t *testing.T, capacity, n int) (*Pool, *writeHookBackend, *device.Switch) {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sw.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hb := &writeHookBackend{Backend: sw}
+	return NewPool(hb, capacity), hb, sw
+}
+
+// TestFlushDuringFailingEvictionWriteback is the durability race the
+// pre-clearing protocol loses: an eviction writeback is in flight (and
+// will fail) while a commit force runs. The force must see the page as
+// dirty and write it itself — if FlushAll returns success, the page is
+// durably on the backend even though the eviction's own write errors
+// out afterwards. Under the old protocol the eviction cleared the
+// dirty bit before its write, the force skipped the page, and a
+// committed transaction's data went missing on crash.
+func TestFlushDuringFailingEvictionWriteback(t *testing.T) {
+	p, hb, sw := newHookPool(t, 2, 3)
+	var first atomic.Bool
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	hb.onWrite = func(rel device.OID, pn uint32) error {
+		if pn == 0 && first.CompareAndSwap(false, true) {
+			close(inFlight)
+			<-gate
+			return device.ErrInjected
+		}
+		return nil
+	}
+	dirtyPage(t, p, 0, 0xD1)
+	readByte(t, p, 1) // newer stamp: page 0 is the eviction victim
+
+	getErr := make(chan error, 1)
+	go func() {
+		f, err := p.Get(1, 2) // demands room: evicts page 0, write blocks
+		if err == nil {
+			p.Release(f, false)
+		}
+		getErr <- err
+	}()
+	<-inFlight
+
+	// Commit force overlapping the doomed writeback.
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("FlushAll during in-flight eviction writeback: %v", err)
+	}
+	buf := make(page.Page, page.Size)
+	if err := sw.ReadPage(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xD1 {
+		t.Fatalf("FlushAll succeeded but page 0 not durable on backend: %#x", buf[0])
+	}
+
+	close(gate)
+	if err := <-getErr; !errors.Is(err, device.ErrInjected) {
+		t.Fatalf("Get over failing eviction: %v", err)
+	}
+	// The page survives in cache and still reads back.
+	if got := readByte(t, p, 0); got != 0xD1 {
+		t.Fatalf("page 0 after failed eviction = %#x", got)
+	}
+}
+
+// TestEvictionVictimRepinnedDuringWriteback: a victim that is re-pinned
+// mid-writeback and released clean goes back on its shard's LRU; the
+// eviction must then leave it alone. Deleting it from the frame map
+// while its LRU element survives would strand a stale node that a later
+// victim scan claims as a bogus victim.
+func TestEvictionVictimRepinnedDuringWriteback(t *testing.T) {
+	p, hb, _ := newHookPool(t, 2, 3)
+	var once sync.Once
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	hb.onWrite = func(rel device.OID, pn uint32) error {
+		if pn == 0 {
+			once.Do(func() { close(inFlight) })
+			<-gate
+		}
+		return nil
+	}
+	dirtyPage(t, p, 0, 0xE1)
+	readByte(t, p, 1) // newer stamp: page 0 is the eviction victim
+
+	getErr := make(chan error, 1)
+	go func() {
+		f, err := p.Get(1, 2)
+		if err == nil {
+			p.Release(f, false)
+		}
+		getErr <- err
+	}()
+	<-inFlight
+
+	// Re-pin the victim while its writeback is blocked, then release it
+	// clean: Release relinks it on the LRU, so it is no longer the
+	// eviction's to drop. (No frame latch here — the writeback holds the
+	// read latch for the duration.)
+	f0, err := p.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(f0, false)
+	close(gate)
+	if err := <-getErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-linked frame must still be cached, on the LRU, and every
+	// LRU node must point at a mapped frame (no stale nodes).
+	s := p.shard(Key{1, 0})
+	s.mu.Lock()
+	f, ok := s.frames[Key{1, 0}]
+	onLRU := ok && f.el != nil
+	s.mu.Unlock()
+	if !ok {
+		t.Fatal("re-pinned victim was deleted from the frame map")
+	}
+	if !onLRU {
+		t.Fatal("re-pinned victim is cached but off the LRU")
+	}
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			lf := el.Value.(*Frame)
+			if s.frames[lf.Key] != lf {
+				t.Errorf("stale LRU node for %v", lf.Key)
+			}
+		}
+		total += len(s.frames)
+		s.mu.Unlock()
+	}
+	if got := p.nframes.Load(); got != int64(total) {
+		t.Fatalf("nframes = %d, cached frames = %d", got, total)
+	}
+}
+
+// TestCrashGetFrameCountConsistency races Crash against concurrent
+// Gets and checks that the frame count matches the cached frames once
+// everything quiesces: an install-and-count that interleaves a Crash
+// must not skew nframes for the life of the pool.
+func TestCrashGetFrameCountConsistency(t *testing.T) {
+	p, _ := newFaultyPool(t, 8, 32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f, err := p.Get(1, uint32((g*7+i)%32))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Release(f, false)
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		p.Crash()
+	}
+	close(stop)
+	wg.Wait()
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total += len(s.frames)
+		s.mu.Unlock()
+	}
+	if got := p.nframes.Load(); got != int64(total) {
+		t.Fatalf("nframes = %d but %d frames cached", got, total)
 	}
 }
