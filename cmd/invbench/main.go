@@ -21,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -108,7 +110,14 @@ func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64) error {
 
 // printScaling runs the concurrent-scaling benchmark (wall clock, not
 // the simulated 1993 clock) and prints throughput, speedup over one
-// goroutine, and the contention counters each layer exports.
+// goroutine, and the contention counters each layer exports. The final
+// point of each workload also dumps its metrics-registry snapshot, so
+// the latency histograms behind the throughput numbers are visible
+// without attaching an HTTP scraper. Load-waits (single-flight: a
+// goroutine parked on another's in-flight page read) are reported
+// separately from lock waits (two-phase lock-table contention) — the
+// two look identical in aggregate throughput but call for different
+// fixes.
 func printScaling() error {
 	fmt.Println("Concurrent scaling (wall clock; sleeping device, pool < working set):")
 	for _, wl := range []string{bench.WorkloadRead, bench.WorkloadMixed} {
@@ -120,15 +129,29 @@ func printScaling() error {
 		for _, pt := range pts {
 			st := pt.Stats
 			fmt.Printf("    g=%d  %8.0f ops/s  speedup %4.2fx   "+
-				"cache %d/%d h/m, %d waits, %d overcommits; "+
+				"cache %d/%d h/m, %d load-waits, %d overcommits; "+
 				"status-cache %d/%d h/m; %d lock waits\n",
 				pt.Goroutines, pt.OpsPerSec, pt.Speedup,
 				st.CacheHits, st.CacheMisses, st.CacheLoadWaits, st.CacheOvercommits,
 				st.StatusCacheHits, st.StatusCacheMisses, st.LockWaits)
 		}
+		last := pts[len(pts)-1]
+		fmt.Printf("  %s metrics registry (g=%d run):\n", wl, last.Goroutines)
+		fmt.Print(indent(obs.FormatText(last.Obs), "    "))
 	}
 	fmt.Println()
 	return nil
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, ln := range lines {
+		if ln != "" {
+			lines[i] = prefix + ln
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func cfgLabel(cfg bench.Config) string {

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,15 +39,19 @@ func main() {
 			"abort a connection's transaction (releasing its locks) after this much silence; the connection is dropped after twice this")
 		grace = flag.Duration("grace", inversion.DefaultGracePeriod,
 			"shutdown drain budget before open connections are force-closed")
+		metricsAddr = flag.String("metrics-addr", "",
+			"optional HTTP listen address serving /metrics (Prometheus text), /debug/pprof/*, and /traces/recent (JSON)")
+		slowOp = flag.Duration("slow-op", 0,
+			"log any request whose handling takes at least this long, with per-layer latency attribution (0 disables the log; the trace ring always runs)")
 	)
 	flag.Parse()
-	if err := run(*addr, *buffers, *devices, *dflt, *data, *idle, *grace); err != nil {
+	if err := run(*addr, *buffers, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp); err != nil {
 		fmt.Fprintln(os.Stderr, "invd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, buffers int, devices, dflt, data string, idle, grace time.Duration) error {
+func run(addr string, buffers int, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration) error {
 	var (
 		db      *inversion.DB
 		fd      *inversion.FileDiskDevice
@@ -98,6 +104,7 @@ func run(addr string, buffers int, devices, dflt, data string, idle, grace time.
 	srv := inversion.NewServerWith(db, inversion.ServerConfig{
 		IdleTimeout: idle,
 		GracePeriod: grace,
+		SlowOp:      slowOp,
 	})
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -105,6 +112,22 @@ func run(addr string, buffers int, devices, dflt, data string, idle, grace time.
 	}
 	log.Printf("invd: serving Inversion on %s (%s; idle-timeout %v, grace %v)",
 		bound, devDesc, idle, grace)
+
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		hs := &http.Server{Handler: inversion.NewMetricsHandler(db, srv)}
+		go func() {
+			if err := hs.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("invd: metrics server: %v", err)
+			}
+		}()
+		defer hs.Close()
+		log.Printf("invd: metrics on http://%s/metrics (pprof at /debug/pprof/, traces at /traces/recent)",
+			mln.Addr())
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

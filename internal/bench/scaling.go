@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -64,8 +65,9 @@ type ScalingPoint struct {
 	Ops        int
 	Elapsed    time.Duration
 	OpsPerSec  float64
-	Speedup    float64    // vs the 1-goroutine point of the same workload
-	Stats      core.Stats // post-run contention observables
+	Speedup    float64      // vs the 1-goroutine point of the same workload
+	Stats      core.Stats   // post-run contention observables
+	Obs        obs.Snapshot // post-run metrics registry (latency histograms)
 }
 
 func scalingPath(i int) string { return fmt.Sprintf("/bench/f%02d", i) }
@@ -195,6 +197,7 @@ func RunScalingPoint(workload string, goroutines, opsPerG int) (ScalingPoint, er
 		}
 	}
 	ops := goroutines * opsPerG
+	db.RefreshObsGauges()
 	return ScalingPoint{
 		Workload:   workload,
 		Goroutines: goroutines,
@@ -202,6 +205,7 @@ func RunScalingPoint(workload string, goroutines, opsPerG int) (ScalingPoint, er
 		Elapsed:    elapsed,
 		OpsPerSec:  float64(ops) / elapsed.Seconds(),
 		Stats:      db.Stats(),
+		Obs:        db.Obs().Snapshot(),
 	}, nil
 }
 

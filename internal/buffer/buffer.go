@@ -24,8 +24,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -125,6 +127,14 @@ type PoolStats struct {
 	LoadWaits   int64 // Gets that waited on another goroutine's load
 }
 
+// poolObs holds the pool's registry instruments, one set per shard so
+// scrapes can spot a hot shard. All pointers are resolved once in
+// SetObs; the hot path only does atomic adds on them.
+type poolObs struct {
+	hits, misses, evictions [numShards]*obs.Counter
+	hitNs, loadNs, wbNs     [numShards]*obs.Histogram
+}
+
 // Pool is the shared LRU buffer cache.
 type Pool struct {
 	backend  Backend
@@ -135,6 +145,8 @@ type Pool struct {
 
 	hits, misses, writebacks          atomic.Int64
 	evictions, overcommits, loadWaits atomic.Int64
+
+	obs atomic.Pointer[poolObs]
 }
 
 // NewPool returns a cache of the given capacity (in pages) over the
@@ -151,13 +163,37 @@ func NewPool(backend Backend, capacity int) *Pool {
 	return p
 }
 
-// shard maps a key to its lock shard.
-func (p *Pool) shard(k Key) *shard {
+// shardIdx maps a key to its lock shard index.
+func (p *Pool) shardIdx(k Key) int {
 	h := uint64(k.Rel)<<32 | uint64(k.Page)
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
-	return &p.shards[h&(numShards-1)]
+	return int(h & (numShards - 1))
+}
+
+// shard maps a key to its lock shard.
+func (p *Pool) shard(k Key) *shard { return &p.shards[p.shardIdx(k)] }
+
+// SetObs attaches a metrics registry. Per-shard counters and latency
+// histograms are registered under "buffer.shardNN.*"; human-facing
+// output merges the shard series back into one family. Safe to call
+// once, before or during concurrent use.
+func (p *Pool) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	o := &poolObs{}
+	for i := 0; i < numShards; i++ {
+		prefix := fmt.Sprintf("buffer.shard%02d.", i)
+		o.hits[i] = reg.Counter(prefix + "hits")
+		o.misses[i] = reg.Counter(prefix + "misses")
+		o.evictions[i] = reg.Counter(prefix + "evictions")
+		o.hitNs[i] = reg.Histogram(prefix + "hit_ns")
+		o.loadNs[i] = reg.Histogram(prefix + "load_ns")
+		o.wbNs[i] = reg.Histogram(prefix + "writeback_ns")
+	}
+	p.obs.Store(o)
 }
 
 // Capacity reports the pool's frame budget.
@@ -236,10 +272,23 @@ func (p *Pool) makeRoom() error {
 			p.overcommits.Add(1)
 			return nil // all pinned: overcommit
 		}
+		o, sp := p.obs.Load(), obs.Active()
+		vi := p.shardIdx(f.Key)
 		if wasDirty {
+			var w0 time.Time
+			if o != nil || sp != nil {
+				w0 = time.Now()
+			}
 			f.mu.RLock()
 			err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 			f.mu.RUnlock()
+			if o != nil || sp != nil {
+				d := int64(time.Since(w0))
+				if o != nil {
+					o.wbNs[vi].Observe(d)
+				}
+				sp.AddBufWrite(d)
+			}
 			s := p.shard(f.Key)
 			s.mu.Lock()
 			if err != nil {
@@ -262,6 +311,10 @@ func (p *Pool) makeRoom() error {
 			delete(s.frames, f.Key)
 			p.nframes.Add(-1)
 			p.evictions.Add(1)
+			if o != nil {
+				o.evictions[vi].Inc()
+			}
+			sp.BufEvict()
 		case s.frames[f.Key] == f && f.pins == 0 && f.el == nil:
 			// Re-dirtied while being written back: keep it cached.
 			s.insertByStamp(f)
@@ -280,7 +333,13 @@ func (p *Pool) makeRoom() error {
 // duplicate reads.
 func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 	key := Key{rel, pageNo}
-	s := p.shard(key)
+	si := p.shardIdx(key)
+	s := &p.shards[si]
+	o, sp := p.obs.Load(), obs.Active()
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	for {
 		s.mu.Lock()
 		if f, ok := s.frames[key]; ok {
@@ -288,7 +347,16 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 				ch := f.loadDone
 				s.mu.Unlock()
 				p.loadWaits.Add(1)
+				// A waiter's stall is real latency for its request even
+				// though only the loader's read hits the registry.
+				var w0 time.Time
+				if sp != nil {
+					w0 = time.Now()
+				}
 				<-ch
+				if sp != nil {
+					sp.AddBufLoad(int64(time.Since(w0)))
+				}
 				if err := f.loadErr; err != nil {
 					return nil, err
 				}
@@ -301,6 +369,11 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 			}
 			s.mu.Unlock()
 			p.hits.Add(1)
+			if o != nil {
+				o.hits[si].Inc()
+				o.hitNs[si].Observe(int64(time.Since(t0)))
+			}
+			sp.BufHit()
 			return f, nil
 		}
 		// Miss: install a loading placeholder so concurrent Gets on this
@@ -319,10 +392,27 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 		p.nframes.Add(1)
 		s.mu.Unlock()
 		p.misses.Add(1)
+		if o != nil {
+			o.misses[si].Inc()
+		}
+		sp.BufMiss()
 
 		err := p.makeRoom()
 		if err == nil {
+			// Time only the backend read: makeRoom's writebacks charge
+			// themselves, keeping load and write attribution disjoint.
+			var l0 time.Time
+			if o != nil || sp != nil {
+				l0 = time.Now()
+			}
 			err = p.backend.ReadPage(rel, pageNo, f.Data)
+			if o != nil || sp != nil {
+				d := int64(time.Since(l0))
+				if o != nil {
+					o.loadNs[si].Observe(d)
+				}
+				sp.AddBufLoad(d)
+			}
 		}
 		s.mu.Lock()
 		if err != nil && s.frames[key] == f {
@@ -434,6 +524,7 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		return a.Page < b.Page
 	})
 	var firstErr error
+	o, sp := p.obs.Load(), obs.Active()
 	for _, f := range dirty {
 		s := p.shard(f.Key)
 		s.mu.Lock()
@@ -445,9 +536,20 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		}
 		ver := f.dirtyVer
 		s.mu.Unlock()
+		var w0 time.Time
+		if o != nil || sp != nil {
+			w0 = time.Now()
+		}
 		f.mu.RLock()
 		err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 		f.mu.RUnlock()
+		if o != nil || sp != nil {
+			d := int64(time.Since(w0))
+			if o != nil {
+				o.wbNs[p.shardIdx(f.Key)].Observe(d)
+			}
+			sp.AddBufWrite(d)
+		}
 		if err != nil {
 			// The failed frame (and everything after it) stays dirty —
 			// the bit was never cleared — so a retry after the device

@@ -19,6 +19,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/device"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/rowenc"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -114,6 +115,8 @@ type DB struct {
 
 	valMu      sync.RWMutex
 	validators map[string]TypeValidator
+
+	metrics *obs.Registry
 }
 
 // Open opens (or bootstraps) an Inversion database over the device
@@ -144,15 +147,18 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	}
 
 	db := &DB{
-		sw:    sw,
-		pool:  pool,
-		log:   log,
-		mgr:   mgr,
-		opts:  opts,
-		rels:  make(map[device.OID]*heap.Relation),
-		trees: make(map[device.OID]*btree.Tree),
-		funcs: make(map[string]FileFunc),
+		sw:      sw,
+		pool:    pool,
+		log:     log,
+		mgr:     mgr,
+		opts:    opts,
+		rels:    make(map[device.OID]*heap.Relation),
+		trees:   make(map[device.OID]*btree.Tree),
+		funcs:   make(map[string]FileFunc),
+		metrics: obs.NewRegistry(),
 	}
+	pool.SetObs(db.metrics)
+	mgr.SetObs(db.metrics)
 
 	// Ensure the fixed relations exist and are placed.
 	fixed := []struct {
@@ -279,6 +285,23 @@ func (db *DB) Pool() *buffer.Pool { return db.pool }
 
 // Switch exposes the device switch.
 func (db *DB) Switch() *device.Switch { return db.sw }
+
+// Obs exposes the metrics registry every layer of this database records
+// into.
+func (db *DB) Obs() *obs.Registry { return db.metrics }
+
+// RefreshObsGauges updates the registry gauges that mirror derived
+// state, so a scrape or snapshot sees current values. Called by the
+// stats handlers, not on any hot path.
+func (db *DB) RefreshObsGauges() {
+	m := db.metrics
+	m.Gauge("buffer.capacity_pages").Set(int64(db.pool.Capacity()))
+	m.Gauge("catalog.relations").Set(int64(len(db.cat.Relations())))
+	m.Gauge("catalog.types").Set(int64(len(db.cat.Types())))
+	m.Gauge("catalog.functions").Set(int64(len(db.cat.Functions())))
+	m.Gauge("txn.horizon_xid").Set(int64(db.mgr.Horizon()))
+	m.Gauge("txn.last_commit_unix_ns").Set(db.mgr.LastCommitTime())
+}
 
 // Stats aggregates operational counters for monitoring.
 type Stats struct {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/device"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/rowenc"
 	"repro/internal/txn"
 )
@@ -108,6 +109,7 @@ func (db *DB) CreateTx(tx *txn.Tx, path, owner, fileType, class string, flags ui
 	if err != nil {
 		return nil, err
 	}
+	obs.Active().SetRel(DataRelName(oid))
 	return &File{
 		db: db, tx: tx, snap: snap, oid: oid, attr: attr,
 		data: db.dataRel(oid), idx: idxTree, writable: true,
@@ -166,6 +168,7 @@ func (db *DB) openByOID(tx *txn.Tx, snap *txn.Snapshot, oid device.OID, write bo
 	if err != nil {
 		return nil, err
 	}
+	obs.Active().SetRel(DataRelName(oid))
 	return &File{
 		db: db, tx: tx, snap: snap, oid: oid, attr: attr,
 		data: db.dataRel(oid), idx: idxTree,

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -53,6 +54,7 @@ func (s *Session) Begin() error {
 	}
 	s.tx = tx
 	s.reaped = false
+	obs.Active().SetTxn(uint64(tx.ID()))
 	return nil
 }
 
@@ -173,9 +175,13 @@ func (s *Session) ensureTx() (tx *txn.Tx, implicit bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tx != nil {
+		obs.Active().SetTxn(uint64(s.tx.ID()))
 		return s.tx, false, nil
 	}
 	tx, err = s.db.mgr.Begin()
+	if err == nil {
+		obs.Active().SetTxn(uint64(tx.ID()))
+	}
 	return tx, true, err
 }
 

@@ -13,6 +13,8 @@ package iosim
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Clock is a virtual clock. Cost models advance it; harnesses read it.
@@ -26,7 +28,11 @@ type Clock struct {
 // NewClock returns a virtual clock starting at zero.
 func NewClock() *Clock { return &Clock{} }
 
-// Advance moves the clock forward by d. Negative d is ignored.
+// Advance moves the clock forward by d. Negative d is ignored. Every
+// simulated device charge (seek, rotation, transfer, platter load,
+// network) funnels through here, so this is also where a traced
+// request picks up its virtual-device attribution — kept separate from
+// wall-clock charges because simulated nanoseconds are not wall time.
 func (c *Clock) Advance(d time.Duration) {
 	if c == nil || d <= 0 {
 		return
@@ -34,6 +40,7 @@ func (c *Clock) Advance(d time.Duration) {
 	c.mu.Lock()
 	c.now += d
 	c.mu.Unlock()
+	obs.Active().AddDevSim(int64(d))
 }
 
 // Now reports the current virtual time.

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/rowenc"
+)
+
+// snapshotVersion is the wire format version of an encoded Snapshot.
+// Bump it when the layout changes; decoders reject unknown versions so
+// a newer daemon talking to an older client fails loudly, not
+// garbled.
+const snapshotVersion = 1
+
+// EncodeSnapshot serializes a snapshot with the rowenc codec:
+//
+//	u32 version | u32 nCounters | (string name, i64 value)* |
+//	u32 nGauges | (string name, i64 value)* |
+//	u32 nHists  | (string name, i64 count, i64 sumNs,
+//	               u32 nBuckets, i64*nBuckets)*
+func EncodeSnapshot(s Snapshot) []byte {
+	w := rowenc.NewWriter(256 + len(s.Hists)*(NumBuckets+4)*8)
+	w.Uint32(snapshotVersion)
+	w.Uint32(uint32(len(s.Counters)))
+	for _, c := range s.Counters {
+		w.String(c.Name).Int64(c.Value)
+	}
+	w.Uint32(uint32(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		w.String(g.Name).Int64(g.Value)
+	}
+	w.Uint32(uint32(len(s.Hists)))
+	for _, h := range s.Hists {
+		w.String(h.Name).Int64(h.Count).Int64(h.SumNs)
+		w.Uint32(NumBuckets)
+		for _, b := range h.Buckets {
+			w.Int64(b)
+		}
+	}
+	return w.Done()
+}
+
+// DecodeSnapshot parses an encoded snapshot. The bucket count is
+// carried explicitly so a peer built with a different NumBuckets is
+// detected instead of misparsed.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	r := rowenc.NewReader(b)
+	if v := r.Uint32(); r.Err() == nil && v != snapshotVersion {
+		return s, fmt.Errorf("obs: snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	n := int(r.Uint32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.Counters = append(s.Counters, NamedValue{r.String(), r.Int64()})
+	}
+	n = int(r.Uint32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.Gauges = append(s.Gauges, NamedValue{r.String(), r.Int64()})
+	}
+	n = int(r.Uint32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var h HistogramSnapshot
+		h.Name = r.String()
+		h.Count = r.Int64()
+		h.SumNs = r.Int64()
+		nb := int(r.Uint32())
+		if r.Err() == nil && nb != NumBuckets {
+			return s, fmt.Errorf("obs: histogram %q has %d buckets (want %d)", h.Name, nb, NumBuckets)
+		}
+		for j := 0; j < nb && r.Err() == nil; j++ {
+			h.Buckets[j] = r.Int64()
+		}
+		s.Hists = append(s.Hists, h)
+	}
+	if err := r.Err(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// shardSeries matches the per-shard segment in metric names like
+// "buffer.shard03.hit_ns".
+var shardSeries = regexp.MustCompile(`\.shard[0-9]+\.`)
+
+// MergeShards folds per-shard histogram series into one series per
+// family (".shardNN." collapsed to "."), so human-facing output shows
+// one distribution per layer while /metrics retains full detail.
+// Counters and gauges are folded the same way (summed); non-shard
+// entries pass through unchanged.
+func MergeShards(s Snapshot) Snapshot {
+	var out Snapshot
+	fold := func(vals []NamedValue) []NamedValue {
+		sums := map[string]int64{}
+		order := []string{}
+		for _, v := range vals {
+			name := shardSeries.ReplaceAllString(v.Name, ".")
+			if _, ok := sums[name]; !ok {
+				order = append(order, name)
+			}
+			sums[name] += v.Value
+		}
+		sort.Strings(order)
+		merged := make([]NamedValue, 0, len(order))
+		for _, name := range order {
+			merged = append(merged, NamedValue{name, sums[name]})
+		}
+		return merged
+	}
+	out.Counters = fold(s.Counters)
+	out.Gauges = fold(s.Gauges)
+
+	hists := map[string]*HistogramSnapshot{}
+	horder := []string{}
+	for _, h := range s.Hists {
+		name := shardSeries.ReplaceAllString(h.Name, ".")
+		if m, ok := hists[name]; ok {
+			m.Merge(h)
+		} else {
+			merged := h
+			merged.Name = name
+			hists[name] = &merged
+			horder = append(horder, name)
+		}
+	}
+	sort.Strings(horder)
+	for _, name := range horder {
+		out.Hists = append(out.Hists, *hists[name])
+	}
+	return out
+}
+
+// FormatText renders a snapshot for terminals (`inv stats`): counters
+// and gauges in stable sorted order with aligned values, then one line
+// per histogram with count, mean, and p50/p95/p99. Per-shard series
+// are pre-merged for readability.
+func FormatText(s Snapshot) string {
+	s = MergeShards(s)
+	var b strings.Builder
+	width := 0
+	for _, v := range s.Counters {
+		if len(v.Name) > width {
+			width = len(v.Name)
+		}
+	}
+	for _, v := range s.Gauges {
+		if len(v.Name) > width {
+			width = len(v.Name)
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, v := range s.Counters {
+			fmt.Fprintf(&b, "  %-*s %12d\n", width, v.Name, v.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, v := range s.Gauges {
+			fmt.Fprintf(&b, "  %-*s %12d\n", width, v.Name, v.Value)
+		}
+	}
+	if len(s.Hists) > 0 {
+		b.WriteString("latency histograms:\n")
+		hw := 0
+		for _, h := range s.Hists {
+			if len(h.Name) > hw {
+				hw = len(h.Name)
+			}
+		}
+		for _, h := range s.Hists {
+			fmt.Fprintf(&b, "  %-*s n=%-8d mean=%-9s p50=%-9s p95=%-9s p99=%s\n",
+				hw, h.Name, h.Count,
+				FormatNs(h.MeanNs()), FormatNs(h.Quantile(0.50)),
+				FormatNs(h.Quantile(0.95)), FormatNs(h.Quantile(0.99)))
+		}
+	}
+	return b.String()
+}
+
+// FormatNs renders a nanosecond duration compactly (852ns, 14.2µs,
+// 3.1ms, 2.50s).
+func FormatNs(ns int64) string {
+	switch {
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Bucket i
+// covers durations up to Bound(i) nanoseconds; the exponential ladder
+// starts at ~1µs and tops out above two minutes, which brackets every
+// latency this system produces, from a buffer-cache hit to a jukebox
+// platter swap.
+const NumBuckets = 28
+
+// Bound reports the inclusive upper bound, in nanoseconds, of bucket i.
+// The last bucket is open-ended (everything above Bound(NumBuckets-2)).
+func Bound(i int) int64 {
+	return 1024 << uint(i)
+}
+
+// bucketFor maps a nanosecond duration to its bucket index.
+func bucketFor(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	// Bound(i) = 2^(10+i), so the first bucket whose bound is >= ns is
+	// bits.Len64(ns-1) - 10 (clamped). bits.Len64 is a single
+	// instruction on amd64/arm64.
+	b := bits.Len64(uint64(ns)-1) - 10
+	if ns == 0 {
+		b = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is two atomic
+// adds and a bit-scan — cheap enough to leave on in benchmarks. A nil
+// *Histogram ignores all operations.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[bucketFor(ns)].Add(1)
+}
+
+// Snapshot copies the histogram under the given name.
+func (h *Histogram) Snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{Name: name}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, suitable
+// for wire encoding and quantile extraction.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	Buckets [NumBuckets]int64 `json:"buckets"`
+}
+
+// Merge adds other's samples into s (names are left alone). Used to
+// fold per-shard series into one displayed distribution.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	s.Count += other.Count
+	s.SumNs += other.SumNs
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds by
+// linear interpolation inside the containing bucket. An empty histogram
+// reports 0. The estimate for samples in the last (open-ended) bucket
+// is its lower bound, which keeps the extraction monotone and bounded.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = Bound(i - 1)
+			}
+			hi := Bound(i)
+			if i == NumBuckets-1 {
+				// Open-ended: report the lower bound rather than
+				// inventing an upper one.
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return Bound(NumBuckets - 1)
+}
+
+// MeanNs reports the arithmetic mean in nanoseconds (0 when empty).
+func (s HistogramSnapshot) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / s.Count
+}

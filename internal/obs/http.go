@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler serves the operational endpoint behind `invd -metrics-addr`:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/pprof/*  the standard Go profiles
+//	/traces/recent  JSON ring of the slowest recent requests
+//
+// refresh, if non-nil, runs before each registry read so gauges that
+// mirror derived state (cache capacity, catalog sizes, MVCC horizon)
+// are current at scrape time. ring may be nil (404 for traces).
+func Handler(reg *Registry, ring *TraceRing, refresh func()) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if refresh != nil {
+			refresh()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/traces/recent", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		spans := ring.Slowest()
+		if spans == nil {
+			spans = []SpanData{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(spans)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promName maps a registry name ("buffer.shard03.hit_ns") to a valid
+// Prometheus metric name ("inv_buffer_shard03_hit_ns").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("inv_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeProm renders a snapshot in the Prometheus text exposition
+// format. Histograms use the cumulative-bucket convention with an le
+// label, so standard histogram_quantile() queries work.
+func writeProm(w interface{ Write([]byte) (int, error) }, s Snapshot) {
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range s.Hists {
+		n := promName(strings.TrimSuffix(h.Name, "_ns"))
+		fmt.Fprintf(w, "# TYPE %s_seconds histogram\n", n)
+		var cum int64
+		for i, bn := range h.Buckets {
+			cum += bn
+			fmt.Fprintf(w, "%s_seconds_bucket{le=\"%g\"} %d\n",
+				n, float64(Bound(i))/1e9, cum)
+		}
+		fmt.Fprintf(w, "%s_seconds_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_seconds_sum %g\n", n, float64(h.SumNs)/1e9)
+		fmt.Fprintf(w, "%s_seconds_count %d\n", n, h.Count)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // ErrDeadlock is returned to one participant of a lock cycle; its
@@ -74,6 +76,16 @@ type LockManager struct {
 	waiting  map[XID]*waitEntry
 
 	waits atomic.Int64 // acquisitions that had to queue (contention)
+
+	waitNs atomic.Pointer[obs.Histogram] // queued-acquisition park time
+}
+
+// SetObs attaches a metrics registry; contended acquisitions record
+// their park time in "txn.lock_wait_ns".
+func (m *LockManager) SetObs(reg *obs.Registry) {
+	if reg != nil {
+		m.waitNs.Store(reg.Histogram("txn.lock_wait_ns"))
+	}
 }
 
 // Waits reports how many lock acquisitions blocked behind a
@@ -192,7 +204,17 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 	m.waits.Add(1)
 	m.mu.Unlock()
 
+	h, sp := m.waitNs.Load(), obs.Active()
+	var t0 time.Time
+	if h != nil || sp != nil {
+		t0 = time.Now()
+	}
 	err := <-w.ready
+	if h != nil || sp != nil {
+		d := int64(time.Since(t0))
+		h.Observe(d)
+		sp.AddLockWait(d)
+	}
 	return err
 }
 

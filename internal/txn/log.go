@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // Reserved relation OIDs for the transaction logs. These relations are
@@ -221,7 +223,21 @@ func (l *Log) CommitTime(x XID) int64 {
 
 // Force writes every dirty log page through to the device. This is the
 // only forced write a commit requires beyond the data pages themselves.
+// The active request span is charged here rather than at the call
+// sites, so forces outside commit (XID-ceiling reservation during
+// Begin) show up in per-request attribution too.
 func (l *Log) Force() error {
+	sp := obs.Active()
+	if sp == nil {
+		return l.force()
+	}
+	t0 := time.Now()
+	err := l.force()
+	sp.AddCommitForce(int64(time.Since(t0)))
+	return err
+}
+
+func (l *Log) force() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.forcePages(StatusLogRel, l.status, l.dirtyS); err != nil {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by the transaction manager.
@@ -57,6 +59,19 @@ type Manager struct {
 	// at commit: the storage layer hooks it to flush dirty data pages,
 	// giving the no-overwrite manager durability without a WAL.
 	ForceData func() error
+
+	forceNs atomic.Pointer[obs.Histogram] // full commit-force latency
+}
+
+// SetObs attaches a metrics registry: commits record their full force
+// path (data flush + log force) in "txn.commit_force_ns", and the lock
+// manager records contended-acquisition park time.
+func (m *Manager) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.forceNs.Store(reg.Histogram("txn.commit_force_ns"))
+	m.locks.SetObs(reg)
 }
 
 // NewManager returns a manager over an opened status log. Transactions
@@ -207,6 +222,16 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	m := tx.mgr
+	// The registry histogram covers the whole force path (data flush +
+	// log force). The active span is charged inside Log.Force itself —
+	// not here — so forces outside commit (XID reservation in Begin)
+	// are attributed too, and the data flush already charged its page
+	// writes as buffer writes.
+	h := m.forceNs.Load()
+	var f0 time.Time
+	if h != nil {
+		f0 = time.Now()
+	}
 	if m.ForceData != nil {
 		if err := m.ForceData(); err != nil {
 			// The end is already claimed, so abort inline rather than
@@ -225,7 +250,11 @@ func (tx *Tx) Commit() error {
 	m.mu.Unlock()
 
 	m.log.SetState(tx.id, StatusCommitted, t)
-	if err := m.log.Force(); err != nil {
+	err := m.log.Force()
+	if h != nil {
+		h.Observe(int64(time.Since(f0)))
+	}
+	if err != nil {
 		// The commit record may or may not have reached stable storage
 		// before the force died, so the durable outcome is ambiguous.
 		// Converge on abort: the cached log says aborted (re-forced on

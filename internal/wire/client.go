@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/rowenc"
 	"repro/internal/value"
 )
@@ -225,7 +226,7 @@ func (c *Client) retryable(op byte) bool {
 		return true
 	}
 	switch op {
-	case OpStat, OpReadDir, OpCall, OpStats:
+	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2:
 		return true
 	}
 	return false
@@ -313,7 +314,7 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			c.txLost = false
 			return nil, nil
 		}
-	case OpStat, OpReadDir, OpCall, OpStats:
+	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2:
 		// Idempotent reads; safe whether or not the transaction is lost.
 	default:
 		if c.txLost {
@@ -631,6 +632,16 @@ func (c *Client) Stats() (Stats, error) {
 		LockWaits:         r.Int64(),
 	}
 	return st, r.Err()
+}
+
+// StatsV2 fetches the server's full metrics-registry snapshot:
+// counters, gauges, and per-layer latency histograms.
+func (c *Client) StatsV2() (obs.Snapshot, error) {
+	resp, err := c.call(OpStatsV2, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.DecodeSnapshot(resp)
 }
 
 // Vacuum runs the vacuum cleaner on the server.

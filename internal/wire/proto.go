@@ -42,7 +42,28 @@ const (
 	OpVacuum
 	OpStats
 	OpSetType
+	OpStatsV2
 )
+
+// opNames labels opcodes for metrics and traces. Indexed by opcode.
+var opNames = [...]string{
+	OpBegin: "begin", OpCommit: "commit", OpAbort: "abort",
+	OpCreat: "creat", OpOpen: "open", OpClose: "close",
+	OpRead: "read", OpWrite: "write", OpLseek: "lseek",
+	OpTruncate: "truncate", OpMkdir: "mkdir", OpUnlink: "unlink",
+	OpRename: "rename", OpReadDir: "readdir", OpStat: "stat",
+	OpQuery: "query", OpCall: "call", OpDefineType: "deftype",
+	OpMigrate: "migrate", OpVacuum: "vacuum", OpStats: "stats",
+	OpSetType: "settype", OpStatsV2: "statsv2",
+}
+
+// OpName reports the metric label for an opcode ("op<N>" if unknown).
+func OpName(op byte) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
 
 // Response status codes.
 const (

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rowenc"
 	"repro/internal/value"
@@ -39,6 +40,13 @@ type ServerConfig struct {
 	// WriteTimeout bounds one response write, so a stalled client that
 	// stops reading cannot wedge its handler goroutine.
 	WriteTimeout time.Duration
+	// SlowOp is the slow-operation threshold. Zero keeps the trace ring
+	// fed with the slowest requests but logs nothing; a positive value
+	// additionally logs every request whose handling took at least this
+	// long, with its per-layer attribution.
+	SlowOp time.Duration
+	// TraceRingSize caps the recent-traces ring (default 32).
+	TraceRingSize int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -70,6 +78,19 @@ type Server struct {
 	closed bool
 	conns  map[*serverConn]struct{}
 
+	// Observability: one latency histogram per opcode plus request and
+	// outcome counters, all resolved once at construction; the trace
+	// ring keeps the slowest recent requests for /traces/recent.
+	ring     *obs.TraceRing
+	opNs     [256]*obs.Histogram
+	devSimNs *obs.Histogram
+	requests *obs.Counter
+	errs     *obs.Counter
+	panics   *obs.Counter
+	reapedRq *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+
 	// testHook, when set before Listen, runs at the top of every request
 	// handler; tests use it to inject handler panics.
 	testHook func(op byte, payload []byte)
@@ -94,14 +115,32 @@ func NewServer(db *core.DB) *Server { return NewServerWith(db, ServerConfig{}) }
 // NewServerWith returns a server for db with explicit lifecycle
 // settings.
 func NewServerWith(db *core.DB, cfg ServerConfig) *Server {
-	return &Server{
+	cfg = cfg.withDefaults()
+	s := &Server{
 		db:    db,
 		eng:   query.New(db),
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		logf:  log.Printf,
 		conns: make(map[*serverConn]struct{}),
+		ring:  obs.NewTraceRing(cfg.TraceRingSize),
 	}
+	reg := db.Obs()
+	for op := OpBegin; op <= OpStatsV2; op++ {
+		s.opNs[op] = reg.Histogram("wire.op." + OpName(op) + "_ns")
+	}
+	s.devSimNs = reg.Histogram("device.sim_ns")
+	s.requests = reg.Counter("wire.requests")
+	s.errs = reg.Counter("wire.errors")
+	s.panics = reg.Counter("wire.panics")
+	s.reapedRq = reg.Counter("wire.reaped_replies")
+	s.bytesIn = reg.Counter("wire.bytes_in")
+	s.bytesOut = reg.Counter("wire.bytes_out")
+	return s
 }
+
+// Traces exposes the server's recent-traces ring (the HTTP endpoint
+// serves it).
+func (s *Server) Traces() *obs.TraceRing { return s.ring }
 
 // SetLogf overrides the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
@@ -331,13 +370,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 
+		sp := obs.NewSpan(OpName(op))
+		sp.BytesIn = int64(len(payload))
+		sp.StartUnixNs = time.Now().UnixNano()
+		s.requests.Inc()
+		s.bytesIn.Add(sp.BytesIn)
+
 		sc.mu.Lock()
 		if sc.reaped {
 			sc.reaped = false
 			sc.lastActive = time.Now()
 			sc.mu.Unlock()
 			// The request raced the reaper: its transaction is gone.
-			// Tell the client distinctly and keep serving.
+			// Tell the client distinctly and keep serving. The span still
+			// gets recorded so a reaped burst is visible in the traces.
+			sp.SetOutcome("reaped")
+			s.reapedRq.Inc()
+			s.recordSpan(sp, op)
 			if werr := s.writeReply(conn, statusErr, errFrame(core.ErrReaped)); werr != nil {
 				return
 			}
@@ -346,12 +395,32 @@ func (s *Server) serveConn(conn net.Conn) {
 		sc.busy = true
 		sc.mu.Unlock()
 
+		// The span is active exactly for the handler: every layer below
+		// (locks, buffer pool, simulated devices) charges obs.Active().
+		obs.Activate(sp)
+		t0 := time.Now()
 		resp, panicked, err := s.handleSafe(st, op, payload)
+		sp.WallNs.Store(int64(time.Since(t0)))
+		obs.Deactivate()
 
 		sc.mu.Lock()
 		sc.busy = false
 		sc.lastActive = time.Now()
 		sc.mu.Unlock()
+
+		switch {
+		case panicked:
+			sp.SetOutcome("panic")
+			s.panics.Inc()
+		case err != nil:
+			sp.SetOutcome(fmt.Sprintf("error:%d", errFrame(err)[0]))
+			s.errs.Inc()
+		default:
+			sp.SetOutcome("ok")
+			sp.AddBytesOut(int64(len(resp)))
+			s.bytesOut.Add(int64(len(resp)))
+		}
+		s.recordSpan(sp, op)
 
 		if panicked {
 			// A poisoned request must not take the process down: answer
@@ -369,6 +438,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := s.writeReply(conn, statusOK, resp); err != nil {
 			return
 		}
+	}
+}
+
+// recordSpan files a finished request span: its wall latency into the
+// per-opcode histogram, its simulated-device charge into the shared
+// device histogram, the span itself into the trace ring, and — above
+// the SlowOp threshold — a structured line into the log with the
+// per-layer breakdown that explains where the time went.
+func (s *Server) recordSpan(sp *obs.Span, op byte) {
+	wall := sp.WallNs.Load()
+	s.opNs[op].Observe(wall)
+	if d := sp.DevSimNs.Load(); d > 0 {
+		s.devSimNs.Observe(d)
+	}
+	data := sp.Data()
+	s.ring.Record(data)
+	if s.cfg.SlowOp > 0 && wall >= int64(s.cfg.SlowOp) {
+		s.logf("inversion: slow op %s (%s): wall=%s lock=%s load=%s write=%s force=%s devsim=%s txn=%d rel=%q buf=%d/%d h/m",
+			data.Op, data.Outcome, obs.FormatNs(wall),
+			obs.FormatNs(data.LockWaitNs), obs.FormatNs(data.BufLoadNs),
+			obs.FormatNs(data.BufWriteNs), obs.FormatNs(data.CommitNs),
+			obs.FormatNs(data.DevSimNs), data.Txn, data.Rel,
+			data.BufHits, data.BufMisses)
 	}
 }
 
@@ -686,6 +778,12 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 			Int64(st.CacheEvictions).Int64(st.CacheOvercommits).Int64(st.CacheLoadWaits).
 			Int64(st.StatusCacheHits).Int64(st.StatusCacheMisses).
 			Int64(st.LockWaits).Done(), nil
+	case OpStatsV2:
+		// The full registry snapshot: counters, gauges, and latency
+		// histograms from every layer. Gauges mirroring derived state
+		// are refreshed so the snapshot is current.
+		s.db.RefreshObsGauges()
+		return obs.EncodeSnapshot(s.db.Obs().Snapshot()), nil
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", op)
 	}

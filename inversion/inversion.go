@@ -37,12 +37,14 @@
 package inversion
 
 import (
+	"net/http"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/iosim"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rules"
 	"repro/internal/satgen"
@@ -124,6 +126,43 @@ const (
 	// DefaultGracePeriod is the server's default shutdown drain budget.
 	DefaultGracePeriod = wire.DefaultGracePeriod
 )
+
+// Observability types.
+type (
+	// MetricsRegistry is the per-database registry of counters, gauges,
+	// and latency histograms every storage layer records into; reach it
+	// via DB.Obs().
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry (what the
+	// statsv2 wire op carries and Client.StatsV2 returns).
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is one latency distribution in a snapshot, with
+	// Quantile for p50/p95/p99 extraction.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// SpanData is one finished request trace: per-layer latency
+	// attribution plus txn/relation annotations.
+	SpanData = obs.SpanData
+	// TraceRing keeps the slowest recent request traces; reach a
+	// server's via Server.Traces().
+	TraceRing = obs.TraceRing
+)
+
+// FormatMetrics renders a snapshot for terminals: stable sorted
+// counters and gauges, then one line per histogram with count, mean,
+// and p50/p95/p99 (per-shard series merged).
+func FormatMetrics(s MetricsSnapshot) string { return obs.FormatText(s) }
+
+// NewMetricsHandler returns the operational HTTP endpoint for a served
+// database: Prometheus text at /metrics, Go profiles under
+// /debug/pprof/, and the slowest recent request traces as JSON at
+// /traces/recent. srv may be nil (no trace ring, /traces/recent 404s).
+func NewMetricsHandler(db *DB, srv *Server) http.Handler {
+	var ring *obs.TraceRing
+	if srv != nil {
+		ring = srv.Traces()
+	}
+	return obs.Handler(db.Obs(), ring, db.RefreshObsGauges)
+}
 
 // Query and rules types.
 type (
