@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,25 +30,38 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "reproduce one figure (3..6)")
-		table3 = flag.Bool("table3", false, "reproduce Table 3")
-		local  = flag.Bool("local", false, "local (no-network) comparison")
-		ablate = flag.Bool("ablate", false, "run ablations")
-		scale  = flag.Bool("scale", false, "concurrent-scaling curve (wall clock)")
-		all    = flag.Bool("all", false, "run everything")
-		sizeMB = flag.Int64("size", 25, "created file size in MB")
+		fig      = flag.Int("fig", 0, "reproduce one figure (3..6)")
+		table3   = flag.Bool("table3", false, "reproduce Table 3")
+		local    = flag.Bool("local", false, "local (no-network) comparison")
+		ablate   = flag.Bool("ablate", false, "run ablations")
+		scale    = flag.Bool("scale", false, "concurrent-scaling curve (wall clock)")
+		all      = flag.Bool("all", false, "run everything")
+		sizeMB   = flag.Int64("size", 25, "created file size in MB")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
 	if !*table3 && !*local && !*ablate && !*scale && !*all && *fig == 0 {
 		*all = true
 	}
-	if err := run(*fig, *table3, *local, *ablate, *scale, *all, *sizeMB); err != nil {
+	if err := run(*fig, *table3, *local, *ablate, *scale, *all, *sizeMB, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "invbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64) error {
+// jsonReport is the -json output shape: the simulated Table 3 grid next
+// to the paper's published numbers, and the wall-clock scaling points
+// with their contention stats and metrics-registry snapshots. CI writes
+// one per bench-smoke run, so regressions show up as artifact diffs.
+type jsonReport struct {
+	FileSizeBytes int64                           `json:"file_size_bytes,omitempty"`
+	Table3Seconds map[string]map[string]float64   `json:"table3_seconds,omitempty"`
+	PaperSeconds  map[string]map[string]float64   `json:"paper_seconds,omitempty"`
+	Scaling       map[string][]bench.ScalingPoint `json:"scaling,omitempty"`
+}
+
+func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64, jsonPath string) error {
+	var jr jsonReport
 	p := bench.DefaultParams()
 	fileSize := sizeMB << 20
 	scaled := ""
@@ -65,6 +79,23 @@ func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64) error {
 		})
 		if err != nil {
 			return err
+		}
+		jr.FileSizeBytes = rep.FileSize
+		jr.Table3Seconds = make(map[string]map[string]float64)
+		for cfg, row := range rep.Seconds {
+			m := make(map[string]float64, len(row))
+			for op, s := range row {
+				m[op] = s
+			}
+			jr.Table3Seconds[string(cfg)] = m
+		}
+		jr.PaperSeconds = make(map[string]map[string]float64)
+		for op, row := range bench.PaperTable3 {
+			m := make(map[string]float64, len(row))
+			for cfg, s := range row {
+				m[string(cfg)] = s
+			}
+			jr.PaperSeconds[op] = m
 		}
 	}
 
@@ -101,9 +132,21 @@ func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64) error {
 		}
 	}
 	if all || scale {
-		if err := printScaling(); err != nil {
+		pts, err := printScaling()
+		if err != nil {
 			return err
 		}
+		jr.Scaling = pts
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(&jr, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote machine-readable results to %s\n", jsonPath)
 	}
 	return nil
 }
@@ -118,13 +161,15 @@ func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64) error {
 // separately from lock waits (two-phase lock-table contention) — the
 // two look identical in aggregate throughput but call for different
 // fixes.
-func printScaling() error {
+func printScaling() (map[string][]bench.ScalingPoint, error) {
 	fmt.Println("Concurrent scaling (wall clock; sleeping device, pool < working set):")
+	out := make(map[string][]bench.ScalingPoint)
 	for _, wl := range []string{bench.WorkloadRead, bench.WorkloadMixed} {
 		pts, err := bench.RunScaling(wl, []int{1, 2, 4, 8}, 400)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out[wl] = pts
 		fmt.Printf("  %s:\n", wl)
 		for _, pt := range pts {
 			st := pt.Stats
@@ -140,7 +185,7 @@ func printScaling() error {
 		fmt.Print(indent(obs.FormatText(last.Obs), "    "))
 	}
 	fmt.Println()
-	return nil
+	return out, nil
 }
 
 // indent prefixes every non-empty line of s.

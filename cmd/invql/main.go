@@ -3,10 +3,12 @@
 // the equivalent of "the query language monitor program" the paper's
 // users ran for ad hoc queries over the file system.
 //
-//	invql [-addr host:port] [-e "retrieve (filename) where ..."]
+//	invql [-addr host:port] [-c "retrieve (filename) where ..."]
 //
-// Without -e it reads statements from stdin, one per line; "asof N" may
-// trail a retrieve to query the past.
+// Without -c it reads statements from stdin, one per line; "asof N" may
+// trail a retrieve to query the past. Meta-commands: \d lists heap and
+// index relations (from inv_relations), \dv lists the virtual system
+// catalogs and their columns (from inv_columns), \q quits.
 package main
 
 import (
@@ -22,26 +24,32 @@ import (
 func main() {
 	var (
 		addr = flag.String("addr", "127.0.0.1:4817", "invd server address")
-		expr = flag.String("e", "", "execute one statement and exit")
+		cmd  = flag.String("c", "", "execute one statement and exit (nonzero on error)")
+		expr = flag.String("e", "", "alias for -c")
 	)
 	flag.Parse()
-	if err := run(*addr, *expr); err != nil {
+	if *cmd == "" {
+		*cmd = *expr
+	}
+	if err := run(*addr, *cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "invql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, expr string) error {
+func run(addr, cmd string) error {
 	c, err := inversion.Dial(addr, "invql")
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
-	if expr != "" {
-		return exec(c, expr)
+	if cmd != "" {
+		// One-shot mode: the error (if any) goes to stderr via main and
+		// the process exits nonzero, so scripts can branch on it.
+		return exec(c, cmd)
 	}
-	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | quit")
+	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | \\d | \\dv | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("* ")
 	for sc.Scan() {
@@ -60,7 +68,21 @@ func run(addr, expr string) error {
 	return sc.Err()
 }
 
+// Meta-commands expand to catalog queries, so they work against any
+// server that serves the virtual relations — no client-side schema.
+var metaCommands = map[string]string{
+	`\d`: `retrieve (r.oid, r.name, r.kind, r.pages, r.live, r.dead)
+		from r in inv_relations sort by r.oid`,
+	`\dv`: `retrieve (c.relation, c.column, c.type, c.doc)
+		from c in inv_columns sort by c.relation`,
+}
+
 func exec(c *inversion.Client, q string) error {
+	if meta, ok := metaCommands[strings.TrimSpace(q)]; ok {
+		q = meta
+	} else if strings.HasPrefix(strings.TrimSpace(q), `\`) {
+		return fmt.Errorf(`unknown command %q (try \d, \dv, or \q)`, q)
+	}
 	res, err := c.Query(q)
 	if err != nil {
 		return err

@@ -102,6 +102,12 @@ type shard struct {
 	mu     sync.Mutex
 	frames map[Key]*Frame
 	lru    *list.List
+
+	// Per-shard counters, always on (unlike the registry instruments,
+	// which exist only once SetObs runs). They feed ShardStats and the
+	// inv_stat_buffer catalog; each is one extra atomic add on a path
+	// that already does one.
+	hits, misses, evictions, writebacks atomic.Int64
 }
 
 // insertByStamp reinserts an unpinned frame into the LRU preserving
@@ -115,6 +121,39 @@ func (s *shard) insertByStamp(f *Frame) {
 		}
 	}
 	f.el = s.lru.PushFront(f)
+}
+
+// ShardStat is one lock shard's view of the cache: how many frames it
+// currently holds and its share of the pool-wide counters.
+type ShardStat struct {
+	Shard      int
+	Frames     int
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// ShardStats reports per-shard cache statistics. Frame counts are read
+// under each shard's lock in turn (not all at once), so the rows are
+// each internally consistent but the set is not a single instant.
+func (p *Pool) ShardStats() []ShardStat {
+	out := make([]ShardStat, numShards)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		frames := len(s.frames)
+		s.mu.Unlock()
+		out[i] = ShardStat{
+			Shard:      i,
+			Frames:     frames,
+			Hits:       s.hits.Load(),
+			Misses:     s.misses.Load(),
+			Evictions:  s.evictions.Load(),
+			Writebacks: s.writebacks.Load(),
+		}
+	}
+	return out
 }
 
 // PoolStats is a snapshot of the pool's counters.
@@ -303,6 +342,7 @@ func (p *Pool) makeRoom() error {
 			}
 			s.mu.Unlock()
 			p.writebacks.Add(1)
+			s.writebacks.Add(1)
 		}
 		s := p.shard(f.Key)
 		s.mu.Lock()
@@ -311,6 +351,7 @@ func (p *Pool) makeRoom() error {
 			delete(s.frames, f.Key)
 			p.nframes.Add(-1)
 			p.evictions.Add(1)
+			s.evictions.Add(1)
 			if o != nil {
 				o.evictions[vi].Inc()
 			}
@@ -369,6 +410,7 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 			}
 			s.mu.Unlock()
 			p.hits.Add(1)
+			s.hits.Add(1)
 			if o != nil {
 				o.hits[si].Inc()
 				o.hitNs[si].Observe(int64(time.Since(t0)))
@@ -392,6 +434,7 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 		p.nframes.Add(1)
 		s.mu.Unlock()
 		p.misses.Add(1)
+		s.misses.Add(1)
 		if o != nil {
 			o.misses[si].Inc()
 		}
@@ -563,6 +606,7 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		}
 		s.mu.Unlock()
 		p.writebacks.Add(1)
+		s.writebacks.Add(1)
 	}
 	for _, f := range dirty {
 		s := p.shard(f.Key)

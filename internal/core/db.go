@@ -21,6 +21,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/obs"
 	"repro/internal/rowenc"
+	"repro/internal/sysview"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
@@ -117,7 +118,14 @@ type DB struct {
 	validators map[string]TypeValidator
 
 	metrics *obs.Registry
+	views   *sysview.Registry
+
+	vacMu   sync.Mutex
+	vacRuns []sysview.VacuumRow // recent vacuum runs, newest first
 }
+
+// maxVacuumRuns bounds the in-memory vacuum history inv_vacuum serves.
+const maxVacuumRuns = 32
 
 // Open opens (or bootstraps) an Inversion database over the device
 // switch. The switch must have at least one registered device manager.
@@ -221,6 +229,18 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 
 	db.registerBuiltins()
 
+	// System catalogs: the engine's own internals as virtual relations.
+	// The wire server adds inv_traces (the trace ring lives there);
+	// inv_columns reads the registry itself, so it sees that addition.
+	db.views = sysview.NewRegistry()
+	db.views.Register(sysview.NewStatOps(db.metrics))
+	db.views.Register(sysview.NewStatBuffer(pool))
+	db.views.Register(sysview.NewLocks(mgr.Locks()))
+	db.views.Register(sysview.NewTransactions(mgr))
+	db.views.Register(sysview.NewRelations(db.relRows))
+	db.views.Register(sysview.NewVacuum(db.vacuumRuns))
+	db.views.Register(sysview.NewColumnsCatalog(db.views))
+
 	// Bootstrap the root directory if this database is fresh: "The
 	// root directory, named '/', appears in every POSTGRES database as
 	// shipped from Berkeley."
@@ -289,6 +309,81 @@ func (db *DB) Switch() *device.Switch { return db.sw }
 // Obs exposes the metrics registry every layer of this database records
 // into.
 func (db *DB) Obs() *obs.Registry { return db.metrics }
+
+// SysViews exposes the virtual-relation registry. The query engine
+// resolves range variables against it; servers may register additional
+// catalogs (the wire server adds inv_traces).
+func (db *DB) SysViews() *sysview.Registry { return db.views }
+
+// relRows materializes the inv_relations catalog: the fixed system
+// heaps plus every catalogued relation. Heap relations get full tuple
+// statistics from a one-pass scan; index relations report page counts
+// only (their pages are not record-formatted).
+func (db *DB) relRows() ([]sysview.RelRow, error) {
+	type fixedRel struct {
+		oid  device.OID
+		name string
+	}
+	fixed := []fixedRel{
+		{catalog.RelationsRel, "pg_relations"},
+		{catalog.TypesRel, "pg_types"},
+		{catalog.FunctionsRel, "pg_functions"},
+		{NamingRel, "naming"},
+		{FileAttRel, "fileatt"},
+		{ArchiveRel, "archive"},
+	}
+	var out []sysview.RelRow
+	add := func(oid device.OID, name, kind string, scan bool) error {
+		row := sysview.RelRow{OID: int64(oid), Name: name, Kind: kind}
+		if scan {
+			st, err := db.dataRel(oid).TupleStats()
+			if err != nil {
+				return err
+			}
+			row.Pages, row.Live, row.Dead = int64(st.Pages), int64(st.Live), int64(st.Dead)
+		} else if n, err := db.pool.NPages(oid); err == nil {
+			row.Pages = int64(n)
+		}
+		out = append(out, row)
+		return nil
+	}
+	for _, f := range fixed {
+		if err := add(f.oid, f.name, "heap", true); err != nil {
+			return nil, err
+		}
+	}
+	for _, idx := range []fixedRel{
+		{NameIdxRel, "naming_name_idx"},
+		{FileIdxRel, "naming_file_idx"},
+		{AttIdxRel, "fileatt_idx"},
+	} {
+		if err := add(idx.oid, idx.name, "index", false); err != nil {
+			return nil, err
+		}
+	}
+	for _, ri := range db.cat.Relations() {
+		switch ri.Kind {
+		case catalog.KindHeap:
+			if err := add(ri.OID, ri.Name, "heap", true); err != nil {
+				return nil, err
+			}
+		case catalog.KindIndex:
+			if err := add(ri.OID, ri.Name, "index", false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// vacuumRuns reports the recent vacuum history, newest first.
+func (db *DB) vacuumRuns() []sysview.VacuumRow {
+	db.vacMu.Lock()
+	out := make([]sysview.VacuumRow, len(db.vacRuns))
+	copy(out, db.vacRuns)
+	db.vacMu.Unlock()
+	return out
+}
 
 // RefreshObsGauges updates the registry gauges that mirror derived
 // state, so a scrape or snapshot sees current values. Called by the

@@ -110,6 +110,7 @@ func (db *DB) CreateTx(tx *txn.Tx, path, owner, fileType, class string, flags ui
 		return nil, err
 	}
 	obs.Active().SetRel(DataRelName(oid))
+	db.mgr.AnnotateTx(tx.ID(), DataRelName(oid))
 	return &File{
 		db: db, tx: tx, snap: snap, oid: oid, attr: attr,
 		data: db.dataRel(oid), idx: idxTree, writable: true,
@@ -169,6 +170,11 @@ func (db *DB) openByOID(tx *txn.Tx, snap *txn.Snapshot, oid device.OID, write bo
 		return nil, err
 	}
 	obs.Active().SetRel(DataRelName(oid))
+	if tx != nil {
+		// Annotate the live-transaction entry too, so inv_transactions
+		// names the relation a long-running transaction is touching.
+		db.mgr.AnnotateTx(tx.ID(), DataRelName(oid))
+	}
 	return &File{
 		db: db, tx: tx, snap: snap, oid: oid, attr: attr,
 		data: db.dataRel(oid), idx: idxTree,

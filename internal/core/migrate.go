@@ -1,9 +1,12 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/btree"
 	"repro/internal/device"
 	"repro/internal/heap"
+	"repro/internal/sysview"
 	"repro/internal/txn"
 )
 
@@ -53,6 +56,10 @@ type VacuumStats struct {
 // index entries are removed from the B-trees.
 func (db *DB) Vacuum() (VacuumStats, error) {
 	var out VacuumStats
+	// Wall clock, deliberately not the injected TimeSource: vacuum
+	// telemetry (the registry and inv_vacuum) reports real durations
+	// even under a simulated commit clock.
+	start := time.Now()
 	vx, err := db.mgr.Begin()
 	if err != nil {
 		return out, err
@@ -116,14 +123,43 @@ func (db *DB) Vacuum() (VacuumStats, error) {
 		out.merge(stats)
 		out.Relations++
 	}
-	return out, vx.Commit()
+	if err := vx.Commit(); err != nil {
+		return out, err
+	}
+	db.recordVacuum(out, start, time.Since(start))
+	return out, nil
 }
 
-func (v *VacuumStats) merge(s heap.VacuumStats) {
-	v.Scanned += s.Scanned
-	v.Archived += s.Archived
-	v.Removed += s.Removed
-	v.Reclaimed += s.Reclaimed
+func (v *VacuumStats) merge(s heap.VacuumStats) { v.VacuumStats.Add(s) }
+
+// recordVacuum publishes a completed run to the metrics registry (the
+// vacuum.* counters /metrics scrapes) and to the bounded in-memory
+// history that inv_vacuum serves.
+func (db *DB) recordVacuum(s VacuumStats, start time.Time, dur time.Duration) {
+	m := db.metrics
+	m.Counter("vacuum.runs").Inc()
+	m.Counter("vacuum.pages_scanned").Add(int64(s.Pages))
+	m.Counter("vacuum.tuples_scanned").Add(int64(s.Scanned))
+	m.Counter("vacuum.tuples_archived").Add(int64(s.Archived))
+	m.Counter("vacuum.tuples_removed").Add(int64(s.Removed))
+	m.Counter("vacuum.bytes_reclaimed").Add(int64(s.Reclaimed))
+
+	row := sysview.VacuumRow{
+		StartUnixNs: start.UnixNano(),
+		DurationNs:  int64(dur),
+		Relations:   int64(s.Relations),
+		Pages:       int64(s.Pages),
+		Scanned:     int64(s.Scanned),
+		Archived:    int64(s.Archived),
+		Removed:     int64(s.Removed),
+		Reclaimed:   int64(s.Reclaimed),
+	}
+	db.vacMu.Lock()
+	db.vacRuns = append([]sysview.VacuumRow{row}, db.vacRuns...)
+	if len(db.vacRuns) > maxVacuumRuns {
+		db.vacRuns = db.vacRuns[:maxVacuumRuns]
+	}
+	db.vacMu.Unlock()
 }
 
 func abort(tx *txn.Tx) { _ = tx.Abort() }

@@ -210,6 +210,51 @@ func (r *Relation) Stamps(tid TID) (xmin, xmax txn.XID, err error) {
 		txn.XID(binary.LittleEndian.Uint32(item[4:])), nil
 }
 
+// RelStats is a cheap physical profile of one relation, for the
+// inv_relations catalog. Live and dead are estimates from the raw
+// stamps alone — a record is counted dead as soon as any transaction
+// has stamped its xmax, without consulting the status log — so a
+// concurrent writer's uncommitted deletes show up as dead immediately.
+type RelStats struct {
+	Pages int // initialized pages
+	Live  int // records with no deleter stamped (xmax == 0)
+	Dead  int // records with a deleter stamped (vacuum candidates)
+}
+
+// TupleStats walks the relation once (read latches only, one page at a
+// time) and reports its page and tuple counts.
+func (r *Relation) TupleStats() (RelStats, error) {
+	var st RelStats
+	n, err := r.pool.NPages(r.OID)
+	if err != nil {
+		return st, err
+	}
+	for pn := uint32(0); pn < n; pn++ {
+		f, err := r.pool.Get(r.OID, pn)
+		if err != nil {
+			return st, err
+		}
+		f.RLock()
+		if f.Data.Initialized() {
+			st.Pages++
+			for s := 0; s < f.Data.NumSlots(); s++ {
+				item := f.Data.Item(s)
+				if item == nil {
+					continue
+				}
+				if txn.XID(binary.LittleEndian.Uint32(item[4:])) == txn.InvalidXID {
+					st.Live++
+				} else {
+					st.Dead++
+				}
+			}
+		}
+		f.RUnlock()
+		r.pool.Release(f, false)
+	}
+	return st, nil
+}
+
 // Scan calls fn for every record visible to snap, in physical order.
 // fn returns stop=true to end the scan early. The payload passed to fn
 // is a copy the callback may retain.

@@ -20,10 +20,20 @@ const (
 
 // VacuumStats reports what a vacuum pass did.
 type VacuumStats struct {
+	Pages     int // pages scanned
 	Scanned   int // live slots examined
 	Archived  int // obsolete records moved to the archive
 	Removed   int // slots freed (archived + aborted + discarded)
 	Reclaimed int // bytes recovered by page compaction
+}
+
+// Add accumulates another pass's stats into s.
+func (s *VacuumStats) Add(o VacuumStats) {
+	s.Pages += o.Pages
+	s.Scanned += o.Scanned
+	s.Archived += o.Archived
+	s.Removed += o.Removed
+	s.Reclaimed += o.Reclaimed
 }
 
 // ArchiveHeader is the envelope prepended to archived payloads so a
@@ -87,6 +97,7 @@ func (r *Relation) Vacuum(horizon txn.XID, mode VacuumMode, archive *Relation, a
 			r.pool.Release(f, false)
 			continue
 		}
+		stats.Pages++
 		type victim struct {
 			slot    int
 			xmin    txn.XID

@@ -85,6 +85,17 @@ func finishFor(tx *txn.Tx, implicit bool, err error) error {
 	return nil
 }
 
+// rowScope resolves the name forms whose meaning depends on what the
+// query ranges over. The shared evaluator (evalExpr) handles literals,
+// logic, comparison, and arithmetic; idents, range-variable fields, and
+// function calls are delegated here so the file range and virtual
+// relations share one evaluator.
+type rowScope interface {
+	ident(name string) (value.V, error)
+	field(varName, field string) (value.V, error)
+	call(fn string, args []expr) (value.V, error)
+}
+
 // fileRow is the joined naming ⋈ fileatt row the evaluator sees.
 type fileRow struct {
 	name   string
@@ -92,83 +103,260 @@ type fileRow struct {
 	oid    device.OID
 }
 
-func (e *Engine) runRetrieve(st *retrieveStmt) (*Result, error) {
-	snap := e.db.Manager().CurrentSnapshot()
-	if st.asofSet {
-		snap = e.db.Manager().AsOf(st.asof)
+// fileScope is the implicit range of a plain retrieve: every file.
+type fileScope struct {
+	e    *Engine
+	snap *txn.Snapshot
+	row  fileRow
+}
+
+func (s fileScope) ident(name string) (value.V, error) {
+	switch name {
+	case "filename":
+		return value.Str(s.row.name), nil
+	case "parentid":
+		return value.Int(int64(s.row.parent)), nil
+	case "file":
+		return value.Int(int64(s.row.oid)), nil
+	default:
+		return value.Null(), fmt.Errorf("query: unknown attribute %q", name)
 	}
+}
+
+func (s fileScope) field(varName, field string) (value.V, error) {
+	return value.Null(), fmt.Errorf("query: unknown range variable %q (declare it with from %s in <relation>)", varName, varName)
+}
+
+func (s fileScope) call(fn string, args []expr) (value.V, error) {
+	if len(args) != 1 {
+		return value.Null(), fmt.Errorf("query: %s takes exactly one argument (file)", fn)
+	}
+	if id, ok := args[0].(ident); !ok || id.name != "file" {
+		return value.Null(), fmt.Errorf("query: %s must be applied to the range variable file", fn)
+	}
+	v, err := s.e.db.CallFunc(s.snap, fn, s.row.oid)
+	if err != nil {
+		// A function the file's type does not support — or a
+		// content function applied to a directory — filters the
+		// row rather than failing the query.
+		if errors.Is(err, core.ErrTypeMismatch) || errors.Is(err, core.ErrIsDirectory) {
+			return value.Null(), errSkipRow
+		}
+		return value.Null(), err
+	}
+	return v, nil
+}
+
+// virtualScope binds a declared range variable to one materialized row
+// of a virtual relation. Columns resolve through the variable (l.mode)
+// or bare (mode); type functions are not defined over catalogs.
+type virtualScope struct {
+	relName string
+	varName string
+	cols    map[string]int
+	row     []value.V
+}
+
+func (s virtualScope) lookup(field string) (value.V, error) {
+	if i, ok := s.cols[field]; ok {
+		return s.row[i], nil
+	}
+	return value.Null(), fmt.Errorf("query: relation %s has no column %q", s.relName, field)
+}
+
+func (s virtualScope) ident(name string) (value.V, error) { return s.lookup(name) }
+
+func (s virtualScope) field(varName, field string) (value.V, error) {
+	if varName != s.varName {
+		return value.Null(), fmt.Errorf("query: unknown range variable %q (the from clause declared %q)", varName, s.varName)
+	}
+	return s.lookup(field)
+}
+
+func (s virtualScope) call(fn string, args []expr) (value.V, error) {
+	return value.Null(), fmt.Errorf("query: function %s is not defined over virtual relation %s", fn, s.relName)
+}
+
+// collector applies where/targets/sort/limit uniformly for every range
+// kind.
+type collector struct {
+	st    *retrieveStmt
+	res   *Result
+	keyed []sortedRow
+}
+
+type sortedRow struct {
+	key value.V
+	row []value.V
+}
+
+// add evaluates one row in the given scope. A row that fails the where
+// clause, or whose evaluation hits errSkipRow, is silently dropped.
+func (c *collector) add(sc rowScope) error {
+	if c.st.where != nil {
+		v, err := evalExpr(sc, c.st.where)
+		if errors.Is(err, errSkipRow) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !v.Truthy() {
+			return nil
+		}
+	}
+	var out []value.V
+	for _, t := range c.st.targets {
+		v, err := evalExpr(sc, t.e)
+		if errors.Is(err, errSkipRow) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+	}
+	if c.st.sortBy != nil {
+		k, err := evalExpr(sc, c.st.sortBy)
+		if errors.Is(err, errSkipRow) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.keyed = append(c.keyed, sortedRow{k, out})
+		return nil
+	}
+	c.res.Rows = append(c.res.Rows, out)
+	return nil
+}
+
+// finish applies the sort order and limit.
+func (c *collector) finish() {
+	if c.st.sortBy != nil {
+		sort.SliceStable(c.keyed, func(i, j int) bool {
+			cmp := value.Compare(c.keyed[i].key, c.keyed[j].key)
+			if c.st.sortDsc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+		for _, kr := range c.keyed {
+			c.res.Rows = append(c.res.Rows, kr.row)
+		}
+	}
+	if c.st.limit > 0 && len(c.res.Rows) > c.st.limit {
+		c.res.Rows = c.res.Rows[:c.st.limit]
+	}
+}
+
+func newCollector(st *retrieveStmt) *collector {
 	res := &Result{}
 	for _, t := range st.targets {
 		res.Columns = append(res.Columns, t.name)
 	}
-	type sortedRow struct {
-		key value.V
-		row []value.V
+	return &collector{st: st, res: res}
+}
+
+func (e *Engine) runRetrieve(st *retrieveStmt) (*Result, error) {
+	if st.fromRel != "" {
+		return e.runRetrieveVirtual(st)
 	}
-	var keyed []sortedRow
+	snap := e.db.Manager().CurrentSnapshot()
+	if st.asofSet {
+		snap = e.db.Manager().AsOf(st.asof)
+	}
+	c := newCollector(st)
 	// The range of the query is every file: scan the naming table and
 	// join fileatt through the function layer.
 	err := e.db.ForEachFile(snap, func(name string, parent, oid device.OID) error {
-		row := fileRow{name, parent, oid}
-		if st.where != nil {
-			v, err := e.eval(snap, row, st.where)
-			if errors.Is(err, errSkipRow) {
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			if !v.Truthy() {
-				return nil
-			}
-		}
-		var out []value.V
-		for _, t := range st.targets {
-			v, err := e.eval(snap, row, t.e)
-			if errors.Is(err, errSkipRow) {
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			out = append(out, v)
-		}
-		if st.sortBy != nil {
-			k, err := e.eval(snap, row, st.sortBy)
-			if errors.Is(err, errSkipRow) {
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			keyed = append(keyed, sortedRow{k, out})
-			return nil
-		}
-		res.Rows = append(res.Rows, out)
-		return nil
+		return c.add(fileScope{e: e, snap: snap, row: fileRow{name, parent, oid}})
 	})
 	if err != nil {
 		return nil, err
 	}
-	if st.sortBy != nil {
-		sort.SliceStable(keyed, func(i, j int) bool {
-			c := value.Compare(keyed[i].key, keyed[j].key)
-			if st.sortDsc {
-				return c > 0
-			}
-			return c < 0
-		})
-		for _, kr := range keyed {
-			res.Rows = append(res.Rows, kr.row)
-		}
-	}
-	if st.limit > 0 && len(res.Rows) > st.limit {
-		res.Rows = res.Rows[:st.limit]
-	}
-	return res, nil
+	c.finish()
+	return c.res, nil
 }
 
-func (e *Engine) eval(snap *txn.Snapshot, row fileRow, ex expr) (value.V, error) {
+// runRetrieveVirtual executes a retrieve whose from clause ranges over
+// a virtual relation: the catalog's rows are materialized once from
+// live engine state, then filtered and projected like any other range.
+func (e *Engine) runRetrieveVirtual(st *retrieveStmt) (*Result, error) {
+	rel, ok := e.db.SysViews().Lookup(st.fromRel)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown virtual relation %q (retrieve (relation) from c in inv_columns lists them)", st.fromRel)
+	}
+	if st.asofSet {
+		// Virtual relations materialize live engine state; there is no
+		// versioned history to time-travel into, so failing loudly beats
+		// silently answering with present-day rows.
+		return nil, fmt.Errorf("query: asof is not supported over virtual relation %s: system catalogs are live-only", st.fromRel)
+	}
+	cols := rel.Columns()
+	idx := make(map[string]int, len(cols))
+	for i, col := range cols {
+		idx[col.Name] = i
+	}
+	// Validate name resolution statically so a bad column or range
+	// variable errors even when the relation is currently empty.
+	check := virtualScope{relName: st.fromRel, varName: st.fromVar, cols: idx}
+	for _, t := range st.targets {
+		if err := checkVirtualExpr(check, t.e); err != nil {
+			return nil, err
+		}
+	}
+	for _, ex := range []expr{st.where, st.sortBy} {
+		if ex != nil {
+			if err := checkVirtualExpr(check, ex); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rows, err := rel.Rows()
+	if err != nil {
+		return nil, err
+	}
+	c := newCollector(st)
+	for _, row := range rows {
+		if err := c.add(virtualScope{relName: st.fromRel, varName: st.fromVar, cols: idx, row: row}); err != nil {
+			return nil, err
+		}
+	}
+	c.finish()
+	return c.res, nil
+}
+
+// checkVirtualExpr walks an expression and resolves every name against
+// the virtual relation's schema without evaluating anything (sc carries
+// the column map but no row).
+func checkVirtualExpr(sc virtualScope, ex expr) error {
+	switch ex := ex.(type) {
+	case ident:
+		if _, ok := sc.cols[ex.name]; !ok {
+			return fmt.Errorf("query: relation %s has no column %q", sc.relName, ex.name)
+		}
+	case fieldRef:
+		if ex.v != sc.varName {
+			return fmt.Errorf("query: unknown range variable %q (the from clause declared %q)", ex.v, sc.varName)
+		}
+		if _, ok := sc.cols[ex.field]; !ok {
+			return fmt.Errorf("query: relation %s has no column %q", sc.relName, ex.field)
+		}
+	case call:
+		return fmt.Errorf("query: function %s is not defined over virtual relation %s", ex.fn, sc.relName)
+	case unary:
+		return checkVirtualExpr(sc, ex.x)
+	case binary:
+		if err := checkVirtualExpr(sc, ex.l); err != nil {
+			return err
+		}
+		return checkVirtualExpr(sc, ex.r)
+	}
+	return nil
+}
+
+func evalExpr(sc rowScope, ex expr) (value.V, error) {
 	switch ex := ex.(type) {
 	case numLit:
 		if ex.isFloat {
@@ -178,36 +366,13 @@ func (e *Engine) eval(snap *txn.Snapshot, row fileRow, ex expr) (value.V, error)
 	case strLit:
 		return value.Str(ex.s), nil
 	case ident:
-		switch ex.name {
-		case "filename":
-			return value.Str(row.name), nil
-		case "parentid":
-			return value.Int(int64(row.parent)), nil
-		case "file":
-			return value.Int(int64(row.oid)), nil
-		default:
-			return value.Null(), fmt.Errorf("query: unknown attribute %q", ex.name)
-		}
+		return sc.ident(ex.name)
+	case fieldRef:
+		return sc.field(ex.v, ex.field)
 	case call:
-		if len(ex.args) != 1 {
-			return value.Null(), fmt.Errorf("query: %s takes exactly one argument (file)", ex.fn)
-		}
-		if id, ok := ex.args[0].(ident); !ok || id.name != "file" {
-			return value.Null(), fmt.Errorf("query: %s must be applied to the range variable file", ex.fn)
-		}
-		v, err := e.db.CallFunc(snap, ex.fn, row.oid)
-		if err != nil {
-			// A function the file's type does not support — or a
-			// content function applied to a directory — filters the
-			// row rather than failing the query.
-			if errors.Is(err, core.ErrTypeMismatch) || errors.Is(err, core.ErrIsDirectory) {
-				return value.Null(), errSkipRow
-			}
-			return value.Null(), err
-		}
-		return v, nil
+		return sc.call(ex.fn, ex.args)
 	case unary:
-		x, err := e.eval(snap, row, ex.x)
+		x, err := evalExpr(sc, ex.x)
 		if err != nil {
 			return value.Null(), err
 		}
@@ -227,37 +392,37 @@ func (e *Engine) eval(snap *txn.Snapshot, row fileRow, ex expr) (value.V, error)
 		// Short-circuit logic first.
 		switch ex.op {
 		case "and":
-			l, err := e.eval(snap, row, ex.l)
+			l, err := evalExpr(sc, ex.l)
 			if err != nil {
 				return value.Null(), err
 			}
 			if !l.Truthy() {
 				return value.Bool(false), nil
 			}
-			r, err := e.eval(snap, row, ex.r)
+			r, err := evalExpr(sc, ex.r)
 			if err != nil {
 				return value.Null(), err
 			}
 			return value.Bool(r.Truthy()), nil
 		case "or":
-			l, err := e.eval(snap, row, ex.l)
+			l, err := evalExpr(sc, ex.l)
 			if err != nil {
 				return value.Null(), err
 			}
 			if l.Truthy() {
 				return value.Bool(true), nil
 			}
-			r, err := e.eval(snap, row, ex.r)
+			r, err := evalExpr(sc, ex.r)
 			if err != nil {
 				return value.Null(), err
 			}
 			return value.Bool(r.Truthy()), nil
 		}
-		l, err := e.eval(snap, row, ex.l)
+		l, err := evalExpr(sc, ex.l)
 		if err != nil {
 			return value.Null(), err
 		}
-		r, err := e.eval(snap, row, ex.r)
+		r, err := evalExpr(sc, ex.r)
 		if err != nil {
 			return value.Null(), err
 		}

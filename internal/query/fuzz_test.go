@@ -14,6 +14,14 @@ func FuzzParse(f *testing.F) {
 		`retrieve (1 + 2 * -3 / 4 - 5)`,
 		"retrieve (filename) where \"unterminated",
 		`retrieve () where and or not`,
+		`retrieve (l.txn, l.mode) from l in inv_locks where l.granted = 1`,
+		`retrieve (c.type, c.doc) from c in inv_columns sort by c.relation limit 5`,
+		`retrieve (shard) from b in inv_stat_buffer where b.hit_ratio > 0.9`,
+		`retrieve (x.a) from x in`,
+		`retrieve (x.a) from in x`,
+		`retrieve (x.) from x in y`,
+		`retrieve (.y) from x in y`,
+		`retrieve (a.b.c) from x in y asof 1`,
 		"\x00\xff\xfe",
 	}
 	for _, s := range seeds {

@@ -33,7 +33,7 @@ const (
 
 var keywords = map[string]bool{
 	"retrieve": true, "where": true, "and": true, "or": true, "not": true,
-	"in": true, "asof": true, "define": true, "type": true, "function": true,
+	"in": true, "asof": true, "define": true, "type": true, "function": true, "from": true,
 	"for": true, "doc": true, "as": true, "sort": true, "by": true,
 	"limit": true, "desc": true, "asc": true,
 }
@@ -141,7 +141,7 @@ func (l *lexer) lexOp() error {
 		return nil
 	}
 	switch c := l.src[l.pos]; c {
-	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/':
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.':
 		l.toks = append(l.toks, token{tokOp, string(c), start})
 		l.pos++
 		return nil

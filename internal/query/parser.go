@@ -20,6 +20,12 @@ type strLit struct{ s string }
 // ident is a bare attribute reference like filename.
 type ident struct{ name string }
 
+// fieldRef is a range-variable column reference like l.mode.
+type fieldRef struct {
+	v     string // range variable
+	field string // column name
+}
+
 // call is a function application like snow(file).
 type call struct {
 	fn   string
@@ -36,19 +42,22 @@ type binary struct {
 	l, r expr
 }
 
-func (numLit) exprNode() {}
-func (strLit) exprNode() {}
-func (ident) exprNode()  {}
-func (call) exprNode()   {}
-func (unary) exprNode()  {}
-func (binary) exprNode() {}
+func (numLit) exprNode()   {}
+func (strLit) exprNode()   {}
+func (ident) exprNode()    {}
+func (fieldRef) exprNode() {}
+func (call) exprNode()     {}
+func (unary) exprNode()    {}
+func (binary) exprNode()   {}
 
 // Statement forms.
 
 type retrieveStmt struct {
 	targets []target
-	where   expr // nil = all
-	sortBy  expr // nil = unsorted
+	fromVar string // range variable ("" = the implicit file range)
+	fromRel string // relation the range variable iterates
+	where   expr   // nil = all
+	sortBy  expr   // nil = unsorted
 	sortDsc bool
 	limit   int // 0 = unlimited
 	asof    int64
@@ -159,6 +168,20 @@ func (p *parser) parseRetrieve() (stmt, error) {
 		return nil, err
 	}
 	st := &retrieveStmt{targets: targets}
+	if p.accept(tokKeyword, "from") {
+		v, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "in"); err != nil {
+			return nil, err
+		}
+		rel, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.fromVar, st.fromRel = v.text, rel.text
+	}
 	if p.accept(tokKeyword, "where") {
 		w, err := p.parseExpr()
 		if err != nil {
@@ -390,6 +413,17 @@ func (p *parser) parsePrimary() (expr, error) {
 		return strLit{t.text}, nil
 	case tokIdent:
 		p.next()
+		if p.accept(tokOp, ".") {
+			// Range-variable column reference. The field position accepts
+			// keywords too: catalog columns may collide with reserved
+			// words (inv_columns has "type" and "doc" columns).
+			f := p.cur()
+			if f.kind != tokIdent && f.kind != tokKeyword {
+				return nil, fmt.Errorf("query: expected column name after %q., found %q", t.text, f.text)
+			}
+			p.next()
+			return fieldRef{v: t.text, field: f.text}, nil
+		}
 		if p.accept(tokOp, "(") {
 			var args []expr
 			if !p.at(tokOp, ")") {
@@ -431,6 +465,8 @@ func exprName(e expr) string {
 	switch v := e.(type) {
 	case ident:
 		return v.name
+	case fieldRef:
+		return v.field
 	case call:
 		return v.fn
 	case strLit:

@@ -1,0 +1,371 @@
+package sysview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/obs"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// wireOpPrefix/Suffix bracket the per-opcode histograms the wire
+// server registers ("wire.op.<name>_ns"); inv_stat_ops is a view over
+// exactly that family.
+const (
+	wireOpPrefix = "wire.op."
+	wireOpSuffix = "_ns"
+)
+
+// NewStatOps returns inv_stat_ops: one row per wire opcode with its
+// request count and latency quantiles, extracted from the metrics
+// registry's per-op histograms. Counts are cumulative since server
+// start; quantiles are interpolated from the 28 power-of-two buckets.
+func NewStatOps(reg *obs.Registry) VirtualRel {
+	return &funcRel{
+		name: "inv_stat_ops",
+		doc:  "per-opcode request counts and latency quantiles (cumulative)",
+		cols: []Column{
+			{"op", value.KindString, "wire opcode name"},
+			{"count", value.KindInt, "requests served since start"},
+			{"mean_ns", value.KindInt, "mean latency, nanoseconds"},
+			{"p50_ns", value.KindInt, "median latency, nanoseconds"},
+			{"p95_ns", value.KindInt, "95th-percentile latency, nanoseconds"},
+			{"p99_ns", value.KindInt, "99th-percentile latency, nanoseconds"},
+		},
+		rows: func() ([][]value.V, error) {
+			snap := reg.Snapshot()
+			var out [][]value.V
+			for _, h := range snap.Hists {
+				if !strings.HasPrefix(h.Name, wireOpPrefix) || !strings.HasSuffix(h.Name, wireOpSuffix) {
+					continue
+				}
+				op := strings.TrimSuffix(strings.TrimPrefix(h.Name, wireOpPrefix), wireOpSuffix)
+				out = append(out, []value.V{
+					value.Str(op),
+					value.Int(h.Count),
+					value.Int(h.MeanNs()),
+					value.Int(h.Quantile(0.50)),
+					value.Int(h.Quantile(0.95)),
+					value.Int(h.Quantile(0.99)),
+				})
+			}
+			return out, nil // snapshot order is already name-sorted
+		},
+	}
+}
+
+// NewStatBuffer returns inv_stat_buffer: one row per buffer-pool lock
+// shard plus a merged "all" row, from the pool's always-on per-shard
+// counters.
+func NewStatBuffer(pool *buffer.Pool) VirtualRel {
+	return &funcRel{
+		name: "inv_stat_buffer",
+		doc:  "buffer-pool cache statistics per lock shard, plus a merged 'all' row",
+		cols: []Column{
+			{"shard", value.KindString, "shard index 00..15, or 'all' for the merged row"},
+			{"frames", value.KindInt, "frames currently cached in this shard"},
+			{"hits", value.KindInt, "Gets served from cache"},
+			{"misses", value.KindInt, "Gets that issued a backend read"},
+			{"hit_ratio", value.KindFloat, "hits / (hits + misses), 0 when idle"},
+			{"evictions", value.KindInt, "frames dropped to make room"},
+			{"writebacks", value.KindInt, "dirty pages written to the backend"},
+		},
+		rows: func() ([][]value.V, error) {
+			shards := pool.ShardStats()
+			out := make([][]value.V, 0, len(shards)+1)
+			var total buffer.ShardStat
+			for _, s := range shards {
+				total.Frames += s.Frames
+				total.Hits += s.Hits
+				total.Misses += s.Misses
+				total.Evictions += s.Evictions
+				total.Writebacks += s.Writebacks
+				out = append(out, bufferRow(fmt.Sprintf("%02d", s.Shard), s))
+			}
+			out = append(out, bufferRow("all", total))
+			return out, nil
+		},
+	}
+}
+
+func bufferRow(label string, s buffer.ShardStat) []value.V {
+	ratio := 0.0
+	if s.Hits+s.Misses > 0 {
+		ratio = float64(s.Hits) / float64(s.Hits+s.Misses)
+	}
+	return []value.V{
+		value.Str(label),
+		value.Int(int64(s.Frames)),
+		value.Int(s.Hits),
+		value.Int(s.Misses),
+		value.Float(ratio),
+		value.Int(s.Evictions),
+		value.Int(s.Writebacks),
+	}
+}
+
+// NewLocks returns inv_locks: the lock table, one row per granted
+// (tag, holder) pair and one per queued waiter. The dump is a single
+// short critical section on the lock manager, so each query sees a
+// consistent instant of the table.
+func NewLocks(lm *txn.LockManager) VirtualRel {
+	return &funcRel{
+		name: "inv_locks",
+		doc:  "the 2PL lock table: granted locks and queued waiters",
+		cols: []Column{
+			{"txn", value.KindInt, "transaction holding or requesting the lock"},
+			{"space", value.KindString, "lock namespace: relation, name, or meta"},
+			{"rel", value.KindInt, "relation OID the tag names"},
+			{"key", value.KindInt, "key within the space (e.g. name hash)"},
+			{"mode", value.KindString, "shared or exclusive"},
+			{"granted", value.KindBool, "true for holders, false for queued waiters"},
+			{"waiters", value.KindInt, "queue length behind this tag"},
+		},
+		rows: func() ([][]value.V, error) {
+			dump := lm.DumpLocks()
+			sort.Slice(dump, func(i, j int) bool {
+				a, b := dump[i], dump[j]
+				if a.Tag != b.Tag {
+					if a.Tag.Space != b.Tag.Space {
+						return a.Tag.Space < b.Tag.Space
+					}
+					if a.Tag.Rel != b.Tag.Rel {
+						return a.Tag.Rel < b.Tag.Rel
+					}
+					return a.Tag.Key < b.Tag.Key
+				}
+				if a.Granted != b.Granted {
+					return a.Granted // holders before waiters
+				}
+				return a.Txn < b.Txn
+			})
+			out := make([][]value.V, 0, len(dump))
+			for _, d := range dump {
+				out = append(out, []value.V{
+					value.Int(int64(d.Txn)),
+					value.Str(d.Tag.Space.String()),
+					value.Int(int64(d.Tag.Rel)),
+					value.Int(int64(d.Tag.Key)),
+					value.Str(d.Mode.String()),
+					value.Bool(d.Granted),
+					value.Int(int64(d.Waiters)),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// NewTransactions returns inv_transactions: the live transaction set
+// with wall-clock ages. Ended transactions disappear immediately; the
+// status log's history is not replayed here.
+func NewTransactions(mgr *txn.Manager) VirtualRel {
+	return &funcRel{
+		name: "inv_transactions",
+		doc:  "live transactions: xid, state, wall-clock age, annotated relation",
+		cols: []Column{
+			{"xid", value.KindInt, "transaction id"},
+			{"state", value.KindString, "always 'in-progress' (ended txns leave the set)"},
+			{"age_ms", value.KindInt, "wall-clock milliseconds since Begin"},
+			{"relation", value.KindString, "first data relation touched, empty if none yet"},
+		},
+		rows: func() ([][]value.V, error) {
+			act := mgr.ActiveTxns()
+			sort.Slice(act, func(i, j int) bool { return act[i].XID < act[j].XID })
+			now := time.Now().UnixNano()
+			out := make([][]value.V, 0, len(act))
+			for _, a := range act {
+				age := (now - a.StartUnixNs) / int64(time.Millisecond)
+				if age < 0 {
+					age = 0
+				}
+				out = append(out, []value.V{
+					value.Int(int64(a.XID)),
+					value.Str("in-progress"),
+					value.Int(age),
+					value.Str(a.Note),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// RelRow is one heap relation's physical profile; core materializes
+// these from its catalog plus heap.TupleStats.
+type RelRow struct {
+	OID   int64
+	Name  string
+	Kind  string
+	Pages int64
+	Live  int64
+	Dead  int64
+}
+
+// NewRelations returns inv_relations over a closure core supplies
+// (sysview cannot depend on core's catalog or heap handles directly).
+func NewRelations(fetch func() ([]RelRow, error)) VirtualRel {
+	return &funcRel{
+		name: "inv_relations",
+		doc:  "heap relations: page counts and live/dead tuple estimates",
+		cols: []Column{
+			{"oid", value.KindInt, "relation OID"},
+			{"name", value.KindString, "relation name"},
+			{"kind", value.KindString, "heap or index"},
+			{"pages", value.KindInt, "initialized pages"},
+			{"live", value.KindInt, "tuples with no deleter stamped"},
+			{"dead", value.KindInt, "tuples with a deleter stamped (vacuum candidates)"},
+		},
+		rows: func() ([][]value.V, error) {
+			rels, err := fetch()
+			if err != nil {
+				return nil, err
+			}
+			sort.Slice(rels, func(i, j int) bool { return rels[i].OID < rels[j].OID })
+			out := make([][]value.V, 0, len(rels))
+			for _, r := range rels {
+				out = append(out, []value.V{
+					value.Int(r.OID),
+					value.Str(r.Name),
+					value.Str(r.Kind),
+					value.Int(r.Pages),
+					value.Int(r.Live),
+					value.Int(r.Dead),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// VacuumRow is one completed vacuum run; core keeps a ring of recent
+// runs and supplies them newest-first.
+type VacuumRow struct {
+	StartUnixNs int64
+	DurationNs  int64
+	Relations   int64
+	Pages       int64
+	Scanned     int64
+	Archived    int64
+	Removed     int64
+	Reclaimed   int64
+}
+
+// NewVacuum returns inv_vacuum over core's recent-run history.
+func NewVacuum(fetch func() []VacuumRow) VirtualRel {
+	return &funcRel{
+		name: "inv_vacuum",
+		doc:  "recent vacuum runs, newest first",
+		cols: []Column{
+			{"start_unix_ns", value.KindInt, "wall-clock start of the run"},
+			{"duration_ns", value.KindInt, "wall-clock duration"},
+			{"relations", value.KindInt, "relations vacuumed"},
+			{"pages", value.KindInt, "pages scanned"},
+			{"scanned", value.KindInt, "tuples examined"},
+			{"archived", value.KindInt, "tuples moved to the archive"},
+			{"removed", value.KindInt, "tuples reclaimed (slots freed)"},
+			{"reclaimed_bytes", value.KindInt, "bytes recovered by page compaction"},
+		},
+		rows: func() ([][]value.V, error) {
+			runs := fetch()
+			out := make([][]value.V, 0, len(runs))
+			for _, r := range runs {
+				out = append(out, []value.V{
+					value.Int(r.StartUnixNs),
+					value.Int(r.DurationNs),
+					value.Int(r.Relations),
+					value.Int(r.Pages),
+					value.Int(r.Scanned),
+					value.Int(r.Archived),
+					value.Int(r.Removed),
+					value.Int(r.Reclaimed),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// NewTraces returns inv_traces: the slowest-request ring with the
+// per-layer cost breakdown, slowest first.
+func NewTraces(ring *obs.TraceRing) VirtualRel {
+	return &funcRel{
+		name: "inv_traces",
+		doc:  "slowest recent requests with per-layer cost breakdown",
+		cols: []Column{
+			{"op", value.KindString, "wire opcode"},
+			{"txn", value.KindInt, "transaction id serving the request (0 if none)"},
+			{"relation", value.KindString, "relation the request touched"},
+			{"outcome", value.KindString, "ok, error code, panic, or reaped"},
+			{"wall_ns", value.KindInt, "end-to-end wall time"},
+			{"lock_wait_ns", value.KindInt, "time parked in the lock manager"},
+			{"buf_load_ns", value.KindInt, "backend read time (incl. load waits)"},
+			{"buf_write_ns", value.KindInt, "backend write time (writebacks, flushes)"},
+			{"commit_force_ns", value.KindInt, "status-log force time"},
+			{"buf_hits", value.KindInt, "buffer-cache hits"},
+			{"buf_misses", value.KindInt, "buffer-cache misses"},
+			{"bytes_in", value.KindInt, "request payload bytes"},
+			{"bytes_out", value.KindInt, "reply payload bytes"},
+			{"start_unix_ns", value.KindInt, "wall-clock request start"},
+		},
+		rows: func() ([][]value.V, error) {
+			spans := ring.Slowest()
+			out := make([][]value.V, 0, len(spans))
+			for _, d := range spans {
+				out = append(out, []value.V{
+					value.Str(d.Op),
+					value.Int(int64(d.Txn)),
+					value.Str(d.Rel),
+					value.Str(d.Outcome),
+					value.Int(d.WallNs),
+					value.Int(d.LockWaitNs),
+					value.Int(d.BufLoadNs),
+					value.Int(d.BufWriteNs),
+					value.Int(d.CommitNs),
+					value.Int(d.BufHits),
+					value.Int(d.BufMisses),
+					value.Int(d.BytesIn),
+					value.Int(d.BytesOut),
+					value.Int(d.StartUnixNs),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// NewColumnsCatalog returns inv_columns, the meta-catalog: one row per
+// column of every registered virtual relation, so clients (invql \dv)
+// can discover the catalogs over the wire with a plain query. It reads
+// the registry it is registered in, so catalogs added later appear
+// automatically.
+func NewColumnsCatalog(reg *Registry) VirtualRel {
+	return &funcRel{
+		name: "inv_columns",
+		doc:  "columns of every virtual relation (the catalog of catalogs)",
+		cols: []Column{
+			{"relation", value.KindString, "virtual relation name"},
+			{"column", value.KindString, "column name"},
+			{"type", value.KindString, "column type"},
+			{"doc", value.KindString, "one-line column description"},
+		},
+		rows: func() ([][]value.V, error) {
+			var out [][]value.V
+			for _, v := range reg.All() {
+				for _, c := range v.Columns() {
+					out = append(out, []value.V{
+						value.Str(v.Name()),
+						value.Str(c.Name),
+						value.Str(KindName(c.Kind)),
+						value.Str(c.Doc),
+					})
+				}
+			}
+			return out, nil
+		},
+	}
+}

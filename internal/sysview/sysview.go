@@ -1,0 +1,140 @@
+// Package sysview implements virtual relations: POSTQUEL-queryable
+// system catalogs materialized from live engine state rather than from
+// heap pages. The paper's thesis is that file-system state becomes
+// more useful when it lives in ordinary database tables; this package
+// finishes the thought for the system's own internals — the lock
+// table, the live-transaction set, the buffer shards, the vacuum
+// history, and the latency histograms are all just more relations.
+//
+// A virtual relation materializes its rows at query time from
+// short-critical-section snapshot accessors (txn.Manager.ActiveTxns,
+// LockManager.DumpLocks, buffer.Pool.ShardStats, ...). Every catalog
+// is therefore live-only: rows describe the instant the query ran, not
+// any transaction snapshot, so time travel (asof) over a virtual
+// relation is an error by construction — there is no history to read.
+//
+// The package sits below internal/core (which registers the catalogs)
+// and beside internal/query (which resolves range variables against a
+// Registry), so it depends only on the storage layers it reports on.
+package sysview
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Column documents one column of a virtual relation.
+type Column struct {
+	Name string
+	Kind value.Kind
+	Doc  string
+}
+
+// KindName renders a value kind for the inv_columns catalog and \d.
+func KindName(k value.Kind) string {
+	switch k {
+	case value.KindInt:
+		return "int"
+	case value.KindFloat:
+		return "float"
+	case value.KindString:
+		return "string"
+	case value.KindBool:
+		return "bool"
+	case value.KindList:
+		return "list"
+	default:
+		return "null"
+	}
+}
+
+// VirtualRel is one queryable system catalog. Rows materializes the
+// current state as one value per column, in Columns order; it must be
+// safe for concurrent use and must never read the database's virtual
+// (simulated) clock — ages and timestamps come from wall time only.
+type VirtualRel interface {
+	Name() string
+	Doc() string
+	Columns() []Column
+	Rows() ([][]value.V, error)
+}
+
+// Registry maps names to virtual relations. Registration happens at
+// wiring time (core.Open, wire.NewServer); lookups are read-locked so
+// queries never contend with each other.
+type Registry struct {
+	mu   sync.RWMutex
+	rels map[string]VirtualRel
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{rels: make(map[string]VirtualRel)}
+}
+
+// Register adds (or replaces) a virtual relation under its own name.
+func (r *Registry) Register(v VirtualRel) {
+	if r == nil || v == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rels[v.Name()] = v
+	r.mu.Unlock()
+}
+
+// Lookup resolves a catalog by name. A nil registry resolves nothing.
+func (r *Registry) Lookup(name string) (VirtualRel, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	v, ok := r.rels[name]
+	r.mu.RUnlock()
+	return v, ok
+}
+
+// Names reports the registered catalog names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]string, 0, len(r.rels))
+	for n := range r.rels {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// All reports the registered catalogs in name order.
+func (r *Registry) All() []VirtualRel {
+	if r == nil {
+		return nil
+	}
+	names := r.Names()
+	out := make([]VirtualRel, 0, len(names))
+	r.mu.RLock()
+	for _, n := range names {
+		out = append(out, r.rels[n])
+	}
+	r.mu.RUnlock()
+	return out
+}
+
+// funcRel adapts a rows closure into a VirtualRel; every catalog in
+// this package is one of these.
+type funcRel struct {
+	name string
+	doc  string
+	cols []Column
+	rows func() ([][]value.V, error)
+}
+
+func (f *funcRel) Name() string               { return f.name }
+func (f *funcRel) Doc() string                { return f.doc }
+func (f *funcRel) Columns() []Column          { return f.cols }
+func (f *funcRel) Rows() ([][]value.V, error) { return f.rows() }

@@ -1,0 +1,117 @@
+package txn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestActiveTxnsAndAnnotate(t *testing.T) {
+	m, _ := newManager(t)
+	before := time.Now().UnixNano()
+	tx1, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AnnotateTx(tx1.ID(), "inv42")
+	m.AnnotateTx(tx1.ID(), "inv99") // first writer wins
+	m.AnnotateTx(tx2.ID(), "")      // empty note is a no-op
+
+	act := m.ActiveTxns()
+	if len(act) != 2 {
+		t.Fatalf("ActiveTxns = %d entries, want 2", len(act))
+	}
+	byID := map[XID]ActiveTxn{}
+	for _, a := range act {
+		byID[a.XID] = a
+		if a.StartUnixNs < before || a.StartUnixNs > time.Now().UnixNano() {
+			t.Fatalf("start time %d outside test window", a.StartUnixNs)
+		}
+	}
+	if got := byID[tx1.ID()].Note; got != "inv42" {
+		t.Fatalf("tx1 note = %q, want first-writer inv42", got)
+	}
+	if got := byID[tx2.ID()].Note; got != "" {
+		t.Fatalf("tx2 note = %q, want empty", got)
+	}
+
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if act := m.ActiveTxns(); len(act) != 0 {
+		t.Fatalf("ActiveTxns after end = %v, want empty", act)
+	}
+	// Annotating an ended transaction must not panic or resurrect it.
+	m.AnnotateTx(tx1.ID(), "late")
+}
+
+func TestDumpLocks(t *testing.T) {
+	m, _ := newManager(t)
+	tag := LockTag{Space: SpaceRelation, Rel: 7, Key: 1}
+	holder, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Lock(tag, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- waiter.Lock(tag, LockShared) }()
+
+	// Wait for the waiter to appear in the dump.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dump := m.Locks().DumpLocks()
+		var gotHolder, gotWaiter bool
+		for _, d := range dump {
+			if d.Tag != tag {
+				continue
+			}
+			if d.Granted && d.Txn == holder.ID() && d.Mode == LockExclusive && d.Waiters == 1 {
+				gotHolder = true
+			}
+			if !d.Granted && d.Txn == waiter.ID() && d.Mode == LockShared {
+				gotWaiter = true
+			}
+		}
+		if gotHolder && gotWaiter {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dump never showed holder+waiter: %+v", dump)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	if err := waiter.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if dump := m.Locks().DumpLocks(); len(dump) != 0 {
+		t.Fatalf("dump after both ended = %+v, want empty", dump)
+	}
+}
+
+func TestLockStringers(t *testing.T) {
+	if LockShared.String() != "shared" || LockExclusive.String() != "exclusive" {
+		t.Fatal("LockMode.String mismatch")
+	}
+	if SpaceRelation.String() != "relation" || SpaceName.String() != "name" || SpaceMeta.String() != "meta" {
+		t.Fatal("LockSpace.String mismatch")
+	}
+}

@@ -28,6 +28,17 @@ const (
 	LockExclusive
 )
 
+// String renders the strength for catalogs and logs.
+func (m LockMode) String() string {
+	switch m {
+	case LockShared:
+		return "shared"
+	case LockExclusive:
+		return "exclusive"
+	}
+	return "unknown"
+}
+
 // LockSpace partitions the lock namespace so different kinds of
 // resources cannot collide.
 type LockSpace uint8
@@ -38,6 +49,19 @@ const (
 	SpaceName                      // (directory, filename) locks
 	SpaceMeta                      // catalog and metadata locks
 )
+
+// String renders the space for catalogs and logs.
+func (s LockSpace) String() string {
+	switch s {
+	case SpaceRelation:
+		return "relation"
+	case SpaceName:
+		return "name"
+	case SpaceMeta:
+		return "meta"
+	}
+	return "unknown"
+}
 
 // LockTag names one lockable resource.
 type LockTag struct {
@@ -287,6 +311,37 @@ func (m *LockManager) wakeLocked(tag LockTag, ls *lockState) {
 		}
 		m.waitsFor[w.xid] = blockers
 	}
+}
+
+// LockDump is one row of the lock table as reported by DumpLocks:
+// either a granted lock (one row per tag+holder, Granted=true, Waiters
+// counting the tag's queue) or a queued request (Granted=false, Mode
+// the requested strength).
+type LockDump struct {
+	Tag     LockTag
+	Txn     XID
+	Mode    LockMode
+	Granted bool
+	Waiters int
+}
+
+// DumpLocks snapshots the whole lock table under one short critical
+// section: holders first, then queued waiters, per tag. The result is
+// a consistent instant of the table — though by the time the caller
+// reads it the table may have moved on.
+func (m *LockManager) DumpLocks() []LockDump {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LockDump, 0, len(m.locks))
+	for tag, ls := range m.locks {
+		for holder, mode := range ls.holders {
+			out = append(out, LockDump{Tag: tag, Txn: holder, Mode: mode, Granted: true, Waiters: len(ls.queue)})
+		}
+		for _, w := range ls.queue {
+			out = append(out, LockDump{Tag: tag, Txn: w.xid, Mode: w.mode, Granted: false, Waiters: len(ls.queue)})
+		}
+	}
+	return out
 }
 
 // HeldBy reports the locks xid currently holds (for tests and the

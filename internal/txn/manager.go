@@ -32,6 +32,17 @@ type commitEntry struct {
 	t   int64
 }
 
+// liveTx is the manager's record of one in-progress transaction: its
+// wall-clock start (for the inv_transactions age column — never the
+// injected TimeSource, which may be a simulated clock) and a
+// first-writer-wins annotation naming the relation the transaction
+// touched. The note is an atomic pointer so annotating takes only the
+// manager's read lock.
+type liveTx struct {
+	startNs int64
+	note    atomic.Pointer[string]
+}
+
 // Manager coordinates transactions: it hands out XIDs, tracks the live
 // set, records outcomes in the status log, and owns the lock manager.
 // The mutex is an RWMutex: visibility checks (StatusOf, snapshot
@@ -44,7 +55,7 @@ type Manager struct {
 	log            *Log
 	locks          *LockManager
 	next           XID
-	live           map[XID]bool
+	live           map[XID]*liveTx
 	lastCommitTime int64
 
 	commitCache                        [commitCacheSize]atomic.Pointer[commitEntry]
@@ -83,7 +94,7 @@ func NewManager(log *Log) *Manager {
 		log:            log,
 		locks:          NewLockManager(),
 		next:           log.Reserved(),
-		live:           make(map[XID]bool),
+		live:           make(map[XID]*liveTx),
 		lastCommitTime: 0,
 		TimeSource:     func() int64 { return time.Now().UnixNano() },
 	}
@@ -155,7 +166,7 @@ func (m *Manager) Begin() (*Tx, error) {
 	for x := range m.live {
 		running[x] = true
 	}
-	m.live[id] = true
+	m.live[id] = &liveTx{startNs: time.Now().UnixNano()}
 	xmax := m.next
 	m.mu.Unlock()
 
@@ -321,7 +332,7 @@ func (m *Manager) StatusOf(x XID) Status {
 	}
 	m.statusCacheMisses.Add(1)
 	m.mu.RLock()
-	liveNow := m.live[x]
+	_, liveNow := m.live[x]
 	m.mu.RUnlock()
 	if liveNow {
 		return StatusInProgress
@@ -370,6 +381,47 @@ func (m *Manager) Horizon() XID {
 		}
 	}
 	return h
+}
+
+// ActiveTxn is one live transaction as reported by ActiveTxns: its
+// XID, wall-clock start time, and the relation annotation (empty until
+// the transaction first touches a data relation).
+type ActiveTxn struct {
+	XID         XID
+	StartUnixNs int64
+	Note        string
+}
+
+// ActiveTxns snapshots the live transaction set under the read lock.
+// Start times are wall-clock (never the injected TimeSource), so ages
+// computed from them are meaningful even under a simulated clock.
+func (m *Manager) ActiveTxns() []ActiveTxn {
+	m.mu.RLock()
+	out := make([]ActiveTxn, 0, len(m.live))
+	for x, lt := range m.live {
+		a := ActiveTxn{XID: x, StartUnixNs: lt.startNs}
+		if p := lt.note.Load(); p != nil {
+			a.Note = *p
+		}
+		out = append(out, a)
+	}
+	m.mu.RUnlock()
+	return out
+}
+
+// AnnotateTx attaches a human-readable note (conventionally the first
+// relation the transaction touched) to a live transaction. The first
+// writer wins; later calls and calls for ended transactions are no-ops.
+func (m *Manager) AnnotateTx(x XID, note string) {
+	if note == "" {
+		return
+	}
+	m.mu.RLock()
+	lt := m.live[x]
+	m.mu.RUnlock()
+	if lt != nil {
+		lt.note.CompareAndSwap(nil, &note)
+	}
 }
 
 // AsOf returns a read-only snapshot of the database as it was at time t:

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rowenc"
+	"repro/internal/sysview"
 	"repro/internal/value"
 )
 
@@ -135,6 +136,9 @@ func NewServerWith(db *core.DB, cfg ServerConfig) *Server {
 	s.reapedRq = reg.Counter("wire.reaped_replies")
 	s.bytesIn = reg.Counter("wire.bytes_in")
 	s.bytesOut = reg.Counter("wire.bytes_out")
+	// The slow-request ring lives on the server, not the DB, so the
+	// inv_traces catalog is registered here rather than in core.Open.
+	db.SysViews().Register(sysview.NewTraces(s.ring))
 	return s
 }
 

@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSysViewLocksOverWire is the PR's aha moment: a second client can
+// watch the first client's open transaction and the lock it holds, via
+// plain POSTQUEL over the unchanged wire protocol.
+func TestSysViewLocksOverWire(t *testing.T) {
+	_, addr, _ := startServer(t)
+	holder := dial(t, addr, "holder")
+	watcher := dial(t, addr, "watcher")
+
+	if err := holder.PBegin(); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := holder.PCreat("/locked.txt", core.CreateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := holder.PWrite(fd, []byte("mine until commit")); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := watcher.Query(`retrieve (l.txn, l.mode, l.rel)
+		from l in inv_locks where l.granted and l.mode = "exclusive"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no exclusive locks visible while holder txn is open")
+	}
+	holderTxn := res.Rows[0][0].I
+
+	res, err = watcher.Query(`retrieve (t.xid, t.state, t.relation)
+		from t in inv_transactions`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].I == holderTxn {
+			found = true
+			if row[1].S != "in-progress" {
+				t.Fatalf("holder txn state = %q", row[1].S)
+			}
+			if !strings.HasPrefix(row[2].S, "inv") {
+				t.Fatalf("holder txn relation = %q, want inv<oid>", row[2].S)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("lock-holding txn %d missing from inv_transactions", holderTxn)
+	}
+
+	if err := holder.PCommit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = watcher.Query(fmt.Sprintf(
+		`retrieve (l.txn) from l in inv_locks where l.txn = %d`, holderTxn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("locks survived commit: %v", res.Rows)
+	}
+}
+
+// TestSysViewAllCatalogsOverWire exercises every registered catalog
+// through the wire path and checks the ones with guaranteed content
+// actually return rows.
+func TestSysViewAllCatalogsOverWire(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr, "mao")
+
+	// Generate state: a committed file populates the heap relations, the
+	// op histograms, and the trace ring.
+	writeRemote(t, c, "/seed.txt", []byte("rows for everyone"))
+
+	// Discover the catalogs from the meta-catalog itself.
+	res, err := c.Query(`retrieve (c.relation) from c in inv_columns`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := map[string]bool{}
+	for _, row := range res.Rows {
+		rels[row[0].S] = true
+	}
+	want := []string{
+		"inv_stat_ops", "inv_stat_buffer", "inv_locks", "inv_transactions",
+		"inv_relations", "inv_vacuum", "inv_traces", "inv_columns",
+	}
+	for _, name := range want {
+		if !rels[name] {
+			t.Errorf("catalog %s missing from inv_columns", name)
+		}
+	}
+
+	// Every catalog must answer a full-row query without error.
+	for name := range rels {
+		if _, err := c.Query(fmt.Sprintf(`retrieve (x.%s) from x in %s`,
+			firstColumn(t, c, name), name)); err != nil {
+			t.Errorf("query over %s: %v", name, err)
+		}
+	}
+
+	// Catalogs with guaranteed content return rows: the wire ops above
+	// populate the op histograms and the trace ring, the pool has cached
+	// pages, and the seed file lives in heap relations.
+	for _, q := range []string{
+		`retrieve (o.op, o.count, o.p99_ns) from o in inv_stat_ops where o.count > 0`,
+		`retrieve (b.shard, b.hits) from b in inv_stat_buffer`,
+		`retrieve (r.name, r.live) from r in inv_relations where r.name = "naming" and r.live > 0`,
+		`retrieve (t.op, t.wall_ns, t.outcome) from t in inv_traces where t.outcome = "ok"`,
+	} {
+		res, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("query %q returned no rows", q)
+		}
+	}
+}
+
+// writeRemote creates a file over the wire in one autocommitted op
+// sequence.
+func writeRemote(t *testing.T, c *Client, path string, data []byte) {
+	t.Helper()
+	fd, err := c.PCreat(path, core.CreateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PWrite(fd, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PClose(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstColumn(t *testing.T, c *Client, rel string) string {
+	t.Helper()
+	res, err := c.Query(fmt.Sprintf(
+		`retrieve (c.column) from c in inv_columns where c.relation = "%s" limit 1`, rel))
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("no columns for %s: %v", rel, err)
+	}
+	return res.Rows[0][0].S
+}
+
+// TestAsofOverVirtualWire: time travel over a live catalog is a loud,
+// specific error — not silently-current rows.
+func TestAsofOverVirtualWire(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr, "mao")
+	_, err := c.Query(`retrieve (l.txn) from l in inv_locks asof 12345`)
+	if err == nil {
+		t.Fatal("asof over inv_locks succeeded")
+	}
+	if !strings.Contains(err.Error(), "live-only") {
+		t.Fatalf("asof error = %v, want live-only explanation", err)
+	}
+}
+
+// TestStatOpsMatchesStatsV2: inv_stat_ops and the StatsV2 snapshot are
+// two views over the same histograms; quiesced, their counts agree. The
+// in-flight ops themselves ("query", "statsv2") are excluded — each
+// records its own span after the response is built.
+func TestStatOpsMatchesStatsV2(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr, "mao")
+
+	writeRemote(t, c, "/a.txt", []byte("x"))
+	if _, err := c.Stat("/a.txt", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Query(`retrieve (o.op, o.count) from o in inv_stat_ops`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.StatsV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	histCount := map[string]int64{}
+	for _, h := range snap.Hists {
+		histCount[h.Name] = h.Count
+	}
+	checked := 0
+	for _, row := range res.Rows {
+		op, count := row[0].S, row[1].I
+		if op == "query" || op == "statsv2" {
+			continue
+		}
+		want, ok := histCount["wire.op."+op+"_ns"]
+		if !ok {
+			t.Errorf("op %s missing from StatsV2 snapshot", op)
+			continue
+		}
+		if count != want {
+			t.Errorf("op %s: inv_stat_ops count %d != StatsV2 count %d", op, count, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no opcodes cross-checked")
+	}
+}
+
+// TestSysViewConcurrentChurn runs catalog queries against live
+// transaction and lock churn; under -race this proves the snapshot
+// accessors are clean.
+func TestSysViewConcurrentChurn(t *testing.T) {
+	_, addr, _ := startServer(t)
+
+	const writers, rounds = 4, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := dial(t, addr, fmt.Sprintf("writer-%d", w))
+			for i := 0; i < rounds; i++ {
+				if err := c.PBegin(); err != nil {
+					t.Error(err)
+					return
+				}
+				fd, err := c.PCreat(fmt.Sprintf("/churn-%d-%d", w, i), core.CreateOpts{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.PWrite(fd, []byte("busy")); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.PCommit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := dial(t, addr, fmt.Sprintf("reader-%d", r))
+			queries := []string{
+				`retrieve (l.txn, l.mode, l.waiters) from l in inv_locks`,
+				`retrieve (t.xid, t.age_ms, t.relation) from t in inv_transactions`,
+				`retrieve (b.shard, b.hit_ratio) from b in inv_stat_buffer where b.shard = "all"`,
+				`retrieve (o.op, o.count) from o in inv_stat_ops sort by o.count desc limit 3`,
+			}
+			for i := 0; i < rounds*2; i++ {
+				if _, err := c.Query(queries[i%len(queries)]); err != nil {
+					t.Errorf("churn query: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
