@@ -35,15 +35,16 @@ func main() {
 		local    = flag.Bool("local", false, "local (no-network) comparison")
 		ablate   = flag.Bool("ablate", false, "run ablations")
 		scale    = flag.Bool("scale", false, "concurrent-scaling curve (wall clock)")
+		commit   = flag.Bool("commit", false, "write-heavy commit-throughput scaling (group commit, wall clock)")
 		all      = flag.Bool("all", false, "run everything")
 		sizeMB   = flag.Int64("size", 25, "created file size in MB")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
-	if !*table3 && !*local && !*ablate && !*scale && !*all && *fig == 0 {
+	if !*table3 && !*local && !*ablate && !*scale && !*commit && !*all && *fig == 0 {
 		*all = true
 	}
-	if err := run(*fig, *table3, *local, *ablate, *scale, *all, *sizeMB, *jsonPath); err != nil {
+	if err := run(*fig, *table3, *local, *ablate, *scale, *commit, *all, *sizeMB, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "invbench:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ type jsonReport struct {
 	Scaling       map[string][]bench.ScalingPoint `json:"scaling,omitempty"`
 }
 
-func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64, jsonPath string) error {
+func run(fig int, table3, local, ablate, scale, commit, all bool, sizeMB int64, jsonPath string) error {
 	var jr jsonReport
 	p := bench.DefaultParams()
 	fileSize := sizeMB << 20
@@ -138,6 +139,16 @@ func run(fig int, table3, local, ablate, scale, all bool, sizeMB int64, jsonPath
 		}
 		jr.Scaling = pts
 	}
+	if all || commit {
+		pts, err := printCommitScaling()
+		if err != nil {
+			return err
+		}
+		if jr.Scaling == nil {
+			jr.Scaling = make(map[string][]bench.ScalingPoint)
+		}
+		jr.Scaling[bench.WorkloadWrite] = pts
+	}
 	if jsonPath != "" {
 		b, err := json.MarshalIndent(&jr, "", "  ")
 		if err != nil {
@@ -186,6 +197,56 @@ func printScaling() (map[string][]bench.ScalingPoint, error) {
 	}
 	fmt.Println()
 	return out, nil
+}
+
+// printCommitScaling runs the write-heavy commit-throughput grid: every
+// operation overwrites a private file and commits in its own
+// transaction over a device whose Sync dominates, so the curve measures
+// how well the group-commit pipeline amortizes log forces across
+// concurrent committers. Alongside throughput it prints the pipeline's
+// own counters: mean commit batch size (1.00 = no batching) and the
+// log forces saved by riding another committer's batch.
+func printCommitScaling() ([]bench.ScalingPoint, error) {
+	fmt.Println("Commit scaling (wall clock; write-heavy, sync-dominated device, group commit):")
+	pts, err := bench.RunScaling(bench.WorkloadWrite, []int{1, 2, 4, 8}, 32)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		batches, commits := commitBatchStats(pt.Obs)
+		meanBatch := 1.0
+		if batches > 0 {
+			meanBatch = float64(commits) / float64(batches)
+		}
+		saved := obsCounter(pt.Obs, "txn.group_commit.forces_saved")
+		fmt.Printf("    g=%d  %8.0f commits/s  speedup %4.2fx   "+
+			"%d batches, mean batch %.2f, %d forces saved\n",
+			pt.Goroutines, pt.OpsPerSec, pt.Speedup, batches, meanBatch, saved)
+	}
+	fmt.Println()
+	return pts, nil
+}
+
+// commitBatchStats extracts (batches, commits) from the group-commit
+// batch-size histogram: one observation per batch, each observation's
+// value the number of committers it retired.
+func commitBatchStats(snap obs.Snapshot) (batches, commits int64) {
+	for _, h := range snap.Hists {
+		if h.Name == "txn.group_commit.batch_size" {
+			return h.Count, h.SumNs
+		}
+	}
+	return 0, 0
+}
+
+// obsCounter reads one counter from a snapshot (0 when absent).
+func obsCounter(snap obs.Snapshot, name string) int64 {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
 }
 
 // indent prefixes every non-empty line of s.

@@ -43,15 +43,27 @@ func main() {
 			"optional HTTP listen address serving /metrics (Prometheus text), /debug/pprof/*, and /traces/recent (JSON)")
 		slowOp = flag.Duration("slow-op", 0,
 			"log any request whose handling takes at least this long, with per-layer latency attribution (0 disables the log; the trace ring always runs)")
+		bgWriter = flag.Bool("bg-writer", true,
+			"run the background page writer, so eviction writebacks and most of each commit's data flush happen off the foreground path")
+		ckptEvery = flag.Duration("checkpoint-every", time.Minute,
+			"interval between transaction-log checkpoints, which bound how much log a restart must eagerly read (0 disables)")
+		commitWindow = flag.Duration("commit-window", 0,
+			"how long a group-commit leader holds the log force open for other committers to join its batch (0 forces immediately; try 2ms on sync-bound devices)")
 	)
 	flag.Parse()
-	if err := run(*addr, *buffers, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp); err != nil {
+	opts := inversion.Options{
+		Buffers:           *buffers,
+		BackgroundWriter:  *bgWriter,
+		CheckpointEvery:   *ckptEvery,
+		GroupCommitWindow: *commitWindow,
+	}
+	if err := run(*addr, opts, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp); err != nil {
 		fmt.Fprintln(os.Stderr, "invd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, buffers int, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration) error {
+func run(addr string, opts inversion.Options, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration) error {
 	var (
 		db      *inversion.DB
 		fd      *inversion.FileDiskDevice
@@ -59,7 +71,7 @@ func run(addr string, buffers int, devices, dflt, data string, idle, grace time.
 		devDesc = devices
 	)
 	if data != "" {
-		db, fd, err = inversion.OpenPersistent(data, inversion.Options{Buffers: buffers})
+		db, fd, err = inversion.OpenPersistent(data, opts)
 		if err != nil {
 			return err
 		}
@@ -93,7 +105,8 @@ func run(addr string, buffers int, devices, dflt, data string, idle, grace time.
 				return err
 			}
 		}
-		db, err = inversion.Open(sw, inversion.Options{Buffers: buffers, DefaultClass: dflt})
+		opts.DefaultClass = dflt
+		db, err = inversion.Open(sw, opts)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestCommitScalingFloor guards the group-commit headline: on the
+// sync-dominated write-heavy workload, four concurrent committers must
+// reach at least twice one committer's throughput, and they must get
+// there by actually batching (mean timed batch size > 1, log forces
+// saved). A solo run cannot pass by accident — without group commit
+// every committer pays its own data flush + log force + two syncs and
+// the curve stays flat. One retry absorbs CI scheduler noise — two
+// consecutive sub-2x runs mean a real regression, not jitter.
+func TestCommitScalingFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-sleep scaling benchmark")
+	}
+	const opsPerG = 24
+	run := func() (speedup float64, batches, commits, saved int64) {
+		pts, err := bench.RunScaling(bench.WorkloadWrite, []int{1, 4}, opsPerG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := pts[1].Obs
+		for _, h := range snap.Hists {
+			if h.Name == "txn.group_commit.batch_size" {
+				batches, commits = h.Count, h.SumNs
+			}
+		}
+		for _, c := range snap.Counters {
+			if c.Name == "txn.group_commit.forces_saved" {
+				saved = c.Value
+			}
+		}
+		return pts[1].Speedup, batches, commits, saved
+	}
+	s, batches, commits, saved := run()
+	if s < 2.0 {
+		t.Logf("write-heavy g=4 speedup %.2fx < 2x, retrying once", s)
+		s, batches, commits, saved = run()
+	}
+	if s < 2.0 {
+		t.Fatalf("write-heavy g=4 speedup %.2fx, want >= 2x", s)
+	}
+	if batches == 0 || commits <= batches {
+		t.Fatalf("no commit batching under load: %d commits in %d batches", commits, batches)
+	}
+	if saved <= 0 {
+		t.Fatalf("group commit saved no forces (batches=%d commits=%d)", batches, commits)
+	}
+	t.Logf("write-heavy g=4 speedup %.2fx; %d commits in %d batches (mean %.2f), %d forces saved",
+		s, commits, batches, float64(commits)/float64(batches), saved)
+}

@@ -56,7 +56,42 @@ func (m slowMem) WritePage(rel device.OID, page uint32, buf []byte) error {
 const (
 	WorkloadRead  = "read-mostly" // ReadFile/Stat/ReadDir over shared files
 	WorkloadMixed = "mixed"       // same, plus 1-in-8 private-file writes
+	WorkloadWrite = "write-heavy" // every op overwrites a private file and commits
 )
+
+// Write-heavy workload constants. The device models a disk whose
+// platter sync dominates: each commit must force (data flush + log
+// force, each ending in a sync), so a solo committer pays
+// 2×scalingSyncLat per transaction. Group commit amortizes those syncs
+// over every committer in a batch — this workload is sized so the sync
+// is the cost being amortized, which is exactly the effect the paper's
+// group-commit discussion targets.
+const (
+	scalingWriteSeek = 25 * time.Microsecond // per page access, write-heavy device
+	scalingSyncLat   = 4 * time.Millisecond  // per Sync, write-heavy device
+)
+
+// slowSyncMem is the write-heavy workload's device: modest per-page
+// latency, expensive Sync. Sleeps happen outside the store's mutex, so
+// a background writer's writebacks overlap foreground work.
+type slowSyncMem struct {
+	*device.Mem
+}
+
+func (m slowSyncMem) ReadPage(rel device.OID, page uint32, buf []byte) error {
+	time.Sleep(scalingWriteSeek)
+	return m.Mem.ReadPage(rel, page, buf)
+}
+
+func (m slowSyncMem) WritePage(rel device.OID, page uint32, buf []byte) error {
+	time.Sleep(scalingWriteSeek)
+	return m.Mem.WritePage(rel, page, buf)
+}
+
+func (m slowSyncMem) Sync() error {
+	time.Sleep(scalingSyncLat)
+	return m.Mem.Sync()
+}
 
 // ScalingPoint is one (workload, goroutines) measurement.
 type ScalingPoint struct {
@@ -78,10 +113,20 @@ func scalingPrivPath(g int) string { return fmt.Sprintf("/bench/w%d", g) }
 // shared read set (and one private write file per goroutine) already
 // committed. The pool is smaller than the read set so the timed region
 // takes real capacity misses.
-func newScalingDB(goroutines int) (*core.DB, error) {
+func newScalingDB(workload string, goroutines int) (*core.DB, error) {
 	sw := device.NewSwitch()
-	sw.Register(slowMem{device.NewMem(nil, 0)})
-	db, err := core.Open(sw, core.Options{Buffers: scalingBuffers})
+	opts := core.Options{Buffers: scalingBuffers}
+	if workload == WorkloadWrite {
+		// Sync-dominated device, background writer on, and a commit
+		// window wide enough to absorb a committer cohort — the
+		// deployment shape the group-commit pipeline is built for.
+		sw.Register(slowSyncMem{device.NewMem(nil, 0)})
+		opts.BackgroundWriter = true
+		opts.GroupCommitWindow = 2 * time.Millisecond
+	} else {
+		sw.Register(slowMem{device.NewMem(nil, 0)})
+	}
+	db, err := core.Open(sw, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +162,9 @@ func newScalingDB(goroutines int) (*core.DB, error) {
 // scalingOp runs the i-th operation of goroutine g inside the
 // session's open transaction.
 func scalingOp(s *core.Session, workload string, g, i int, buf []byte) error {
+	if workload == WorkloadWrite {
+		return s.WriteFile(scalingPrivPath(g), buf, core.CreateOpts{})
+	}
 	if workload == WorkloadMixed && i%8 == 3 {
 		return s.WriteFile(scalingPrivPath(g), buf, core.CreateOpts{})
 	}
@@ -143,6 +191,11 @@ func scalingWorker(db *core.DB, workload string, g, opsPerG int) error {
 	}
 	for done := 0; done < opsPerG; {
 		n := scalingTxBatch
+		if workload == WorkloadWrite {
+			// One write per transaction: the measurement is commits per
+			// second, so the commit force must dominate each op.
+			n = 1
+		}
 		if opsPerG-done < n {
 			n = opsPerG - done
 		}
@@ -175,10 +228,11 @@ func scalingWorker(db *core.DB, workload string, g, opsPerG int) error {
 // RunScalingPoint measures one (workload, goroutines) point on a fresh
 // database: goroutines × opsPerG operations, wall-clock.
 func RunScalingPoint(workload string, goroutines, opsPerG int) (ScalingPoint, error) {
-	db, err := newScalingDB(goroutines)
+	db, err := newScalingDB(workload, goroutines)
 	if err != nil {
 		return ScalingPoint{}, err
 	}
+	defer db.Close()
 	errs := make([]error, goroutines)
 	var wg sync.WaitGroup
 	start := time.Now()

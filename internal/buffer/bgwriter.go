@@ -1,0 +1,158 @@
+package buffer
+
+import (
+	"sync"
+	"time"
+)
+
+// The background writer moves eviction writebacks off the foreground:
+// a single goroutine watches the pool's dirty-page count and writes
+// dirty frames back between watermarks, so foreground evictions almost
+// always find clean victims and a commit's ForceData flushes only the
+// small recent set the writer has not reached yet — not the whole
+// pool. Like eviction writebacks, background writebacks do not sync:
+// durability is still owned by the commit force, whose device sync
+// covers every write issued before it. The writer is opt-in (started
+// by the daemon and wall-clock benchmarks, never by the simulated-
+// clock benchmarks, whose device charges must stay deterministic).
+
+// BGConfig tunes the background writer. Zero values select defaults.
+type BGConfig struct {
+	// HighFrac of capacity: when the dirty count crosses this, the
+	// writer is kicked and flushes down to LowFrac. Default 0.5.
+	HighFrac float64
+	// LowFrac of capacity: the target after a high-watermark flush.
+	// Default 0.25.
+	LowFrac float64
+	// Interval between trickle flushes when the watermark never
+	// trips; each trickle writes at most MaxBatch pages. Default 50ms.
+	Interval time.Duration
+	// MaxBatch bounds pages written per flush round, so a huge dirty
+	// set is drained in slices that keep yielding the device to
+	// foreground forces. Default 32.
+	MaxBatch int
+}
+
+func (c *BGConfig) fill(capacity int) (high, low, batch int, ivl time.Duration) {
+	hf, lf := c.HighFrac, c.LowFrac
+	if hf <= 0 {
+		hf = 0.5
+	}
+	if lf <= 0 {
+		lf = 0.25
+	}
+	if lf > hf {
+		lf = hf
+	}
+	high = int(hf * float64(capacity))
+	if high < 1 {
+		high = 1
+	}
+	low = int(lf * float64(capacity))
+	batch = c.MaxBatch
+	if batch <= 0 {
+		batch = 32
+	}
+	ivl = c.Interval
+	if ivl <= 0 {
+		ivl = 50 * time.Millisecond
+	}
+	return
+}
+
+// bgWriter is the running writer's state.
+type bgWriter struct {
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+	high int
+}
+
+// bgKick wakes the background writer if one is running and the dirty
+// count has reached its high watermark. Non-blocking: a writer already
+// awake coalesces kicks.
+func (p *Pool) bgKick() {
+	bg := p.bg.Load()
+	if bg == nil || p.ndirty.Load() < int64(bg.high) {
+		return
+	}
+	select {
+	case bg.kick <- struct{}{}:
+	default:
+	}
+}
+
+// StartBackgroundWriter starts the pool's background writer and
+// returns a stop function (idempotent; it blocks until the goroutine
+// exits). Starting a second writer while one runs is a no-op that
+// returns the equivalent stop function.
+func (p *Pool) StartBackgroundWriter(cfg BGConfig) (stop func()) {
+	high, low, batch, ivl := cfg.fill(p.capacity)
+	bg := &bgWriter{
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		high: high,
+	}
+	if !p.bg.CompareAndSwap(nil, bg) {
+		return func() {}
+	}
+	bg.wg.Add(1)
+	go func() {
+		defer bg.wg.Done()
+		ticker := time.NewTicker(ivl)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-bg.stop:
+				return
+			case <-bg.kick:
+				// High watermark: drain to the low watermark in
+				// bounded slices, re-checking stop between slices so
+				// shutdown never waits on a long drain.
+				for p.ndirty.Load() > int64(low) {
+					select {
+					case <-bg.stop:
+						return
+					default:
+					}
+					if !p.bgFlush(batch) {
+						break
+					}
+				}
+			case <-ticker.C:
+				// Trickle: keep the dirty set small even under light
+				// load, so a commit force and the next checkpoint have
+				// little left to write.
+				if p.ndirty.Load() > 0 {
+					p.bgFlush(batch)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(bg.stop)
+			bg.wg.Wait()
+			p.bg.CompareAndSwap(bg, nil)
+		})
+	}
+}
+
+// bgFlush writes back up to limit dirty pages under the pool's
+// standard durability protocol (dirty bit cleared only after a proven
+// write, version-checked). Errors are counted and swallowed: the
+// failed frames stay dirty, and the next foreground force will either
+// succeed or surface the device error to a committer who can act on
+// it. Reports whether progress was made (pages written and no error).
+func (p *Pool) bgFlush(limit int) bool {
+	n, err := p.flushFrames(p.snapshotDirty(nil, limit), true)
+	if n > 0 {
+		p.bgRounds.Add(1)
+	}
+	if err != nil {
+		p.bgErrors.Add(1)
+		return false
+	}
+	return n > 0
+}

@@ -1,0 +1,137 @@
+package buffer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+)
+
+// dirtyPages creates n new dirty pages in rel, leaving them unpinned in
+// the pool.
+func dirtyPages(t *testing.T, p *Pool, rel device.OID, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		f, _, err := p.NewPage(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Lock()
+		f.Data[0] = byte(i + 1)
+		f.Unlock()
+		p.Release(f, true)
+	}
+}
+
+// waitFor polls cond for up to two seconds — the background writer runs
+// on real time, so its effects are awaited, never assumed.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBGWriterWatermarkDrain: crossing the high watermark kicks the
+// writer, which drains the dirty set down to the low watermark without
+// any foreground flush.
+func TestBGWriterWatermarkDrain(t *testing.T) {
+	p, sw := newPool(t, 16)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	// High=8, low=4, trickle effectively off so only the kick path runs.
+	stop := p.StartBackgroundWriter(BGConfig{HighFrac: 0.5, LowFrac: 0.25, Interval: time.Hour})
+	defer stop()
+	dirtyPages(t, p, 1, 10)
+	waitFor(t, "watermark drain", func() bool { return p.Stats().DirtyPages <= 4 })
+	st := p.Stats()
+	if st.BGWritebacks == 0 {
+		t.Fatal("drain happened but BGWritebacks = 0")
+	}
+	if st.BGRounds == 0 {
+		t.Fatal("drain happened but BGRounds = 0")
+	}
+	// The drained pages really reached the device: a full foreground
+	// flush now has at most the low-watermark remainder to write.
+	w0 := st.Writebacks
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if wrote := p.Stats().Writebacks - w0; wrote > 4 {
+		t.Fatalf("FlushAll wrote %d pages after background drain, want <= 4", wrote)
+	}
+}
+
+// TestBGWriterTrickle: below the watermark, the interval timer still
+// drains the dirty set to zero.
+func TestBGWriterTrickle(t *testing.T) {
+	p, sw := newPool(t, 16)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.StartBackgroundWriter(BGConfig{HighFrac: 0.9, LowFrac: 0.5, Interval: 2 * time.Millisecond})
+	defer stop()
+	dirtyPages(t, p, 1, 3) // well under high=14: only the trickle can drain
+	waitFor(t, "trickle drain", func() bool { return p.Stats().DirtyPages == 0 })
+	if st := p.Stats(); st.BGWritebacks < 3 {
+		t.Fatalf("BGWritebacks = %d after trickling 3 pages", st.BGWritebacks)
+	}
+}
+
+// TestBGWriterStopIdempotent: the stop function is safe to call twice,
+// a second concurrent start is a no-op, and after stopping, a fresh
+// writer can be started.
+func TestBGWriterStopIdempotent(t *testing.T) {
+	p, _ := newPool(t, 8)
+	stop := p.StartBackgroundWriter(BGConfig{})
+	noop := p.StartBackgroundWriter(BGConfig{}) // second start: no-op
+	noop()
+	stop()
+	stop() // idempotent
+	stop2 := p.StartBackgroundWriter(BGConfig{Interval: time.Millisecond})
+	defer stop2()
+	if _, _, err := p.NewPage(0); err == nil {
+		// rel 0 is unplaced on a bare switch; either way the pool must
+		// still be usable — the real assertion is no deadlock/panic.
+		t.Log("NewPage on unplaced rel unexpectedly succeeded")
+	}
+}
+
+// TestBGWriterErrorsCountedAndPagesStayDirty: a device error during a
+// background flush is counted and swallowed; the pages stay dirty, so
+// the next foreground force still owns surfacing the failure.
+func TestBGWriterErrorsCountedAndPagesStayDirty(t *testing.T) {
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	faulty := device.NewFaulty(sw, 1)
+	p := NewPool(faulty, 16)
+	if err := sw.Place(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailIf(device.FaultWrite,
+		func(rel device.OID, page uint32) bool { return true }, nil)
+	stop := p.StartBackgroundWriter(BGConfig{HighFrac: 0.25, LowFrac: 0.1, Interval: time.Hour})
+	defer stop()
+	dirtyPages(t, p, 1, 6) // trips high=4
+	waitFor(t, "background error count", func() bool { return p.Stats().BGErrors > 0 })
+	if st := p.Stats(); st.DirtyPages != 6 {
+		t.Fatalf("DirtyPages = %d after failed background flush, want 6", st.DirtyPages)
+	}
+	// Foreground force surfaces the same error...
+	if err := p.FlushAll(); err == nil {
+		t.Fatal("FlushAll succeeded while the device rejects writes")
+	}
+	// ...and succeeds once the device heals, writing every page.
+	faulty.Clear()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.DirtyPages != 0 {
+		t.Fatalf("DirtyPages = %d after healed FlushAll, want 0", st.DirtyPages)
+	}
+}

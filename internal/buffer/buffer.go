@@ -97,10 +97,14 @@ func (f *Frame) RUnlock() { f.mu.RUnlock() }
 
 // shard is one lock shard: a slice of the frame map plus the LRU list
 // of its unpinned frames, kept in ascending stamp order (front = least
-// recently used).
+// recently used), plus the shard's dirty set — the frames a flush must
+// visit. Flushes iterate the dirty sets instead of every cached frame,
+// so a commit force over a mostly-clean pool is O(dirty), not
+// O(capacity).
 type shard struct {
 	mu     sync.Mutex
 	frames map[Key]*Frame
+	dirty  map[Key]*Frame // invariant: s.dirty[k] == s.frames[k] and is dirty
 	lru    *list.List
 
 	// Per-shard counters, always on (unlike the registry instruments,
@@ -164,6 +168,11 @@ type PoolStats struct {
 	Evictions   int64 // frames dropped to make room
 	Overcommits int64 // evictions that found every frame pinned
 	LoadWaits   int64 // Gets that waited on another goroutine's load
+
+	DirtyPages   int64 // frames currently dirty
+	BGWritebacks int64 // writebacks issued by the background writer
+	BGRounds     int64 // background-writer wakeups that wrote anything
+	BGErrors     int64 // background flush attempts that hit a device error
 }
 
 // poolObs holds the pool's registry instruments, one set per shard so
@@ -182,10 +191,39 @@ type Pool struct {
 	nframes  atomic.Int64  // cached frames, global, vs capacity
 	clock    atomic.Uint64 // LRU recency stamps
 
+	ndirty atomic.Int64 // frames currently dirty, across all shards
+
 	hits, misses, writebacks          atomic.Int64
 	evictions, overcommits, loadWaits atomic.Int64
+	bgWritebacks, bgRounds, bgErrors  atomic.Int64
+
+	bg atomic.Pointer[bgWriter] // background writer, when started
 
 	obs atomic.Pointer[poolObs]
+}
+
+// markDirtyLocked sets the frame dirty and registers it in its shard's
+// dirty set (maintaining the global dirty count). A frame no longer in
+// the map — invalidated while pinned — is marked but not registered:
+// nothing should ever flush it, exactly as when flushes scanned the
+// frame map. Caller holds the shard lock.
+func (p *Pool) markDirtyLocked(s *shard, f *Frame) {
+	f.dirty = true
+	if s.frames[f.Key] == f && s.dirty[f.Key] != f {
+		s.dirty[f.Key] = f
+		p.ndirty.Add(1)
+	}
+}
+
+// clearDirtyLocked clears the frame's dirty bit and deregisters it.
+// Caller holds the shard lock and has proven the contents durable (a
+// successful backend write with an unchanged dirty version).
+func (p *Pool) clearDirtyLocked(s *shard, f *Frame) {
+	f.dirty = false
+	if s.dirty[f.Key] == f {
+		delete(s.dirty, f.Key)
+		p.ndirty.Add(-1)
+	}
 }
 
 // NewPool returns a cache of the given capacity (in pages) over the
@@ -197,6 +235,7 @@ func NewPool(backend Backend, capacity int) *Pool {
 	p := &Pool{backend: backend, capacity: capacity}
 	for i := range p.shards {
 		p.shards[i].frames = make(map[Key]*Frame)
+		p.shards[i].dirty = make(map[Key]*Frame)
 		p.shards[i].lru = list.New()
 	}
 	return p
@@ -247,6 +286,11 @@ func (p *Pool) Stats() PoolStats {
 		Evictions:   p.evictions.Load(),
 		Overcommits: p.overcommits.Load(),
 		LoadWaits:   p.loadWaits.Load(),
+
+		DirtyPages:   p.ndirty.Load(),
+		BGWritebacks: p.bgWritebacks.Load(),
+		BGRounds:     p.bgRounds.Load(),
+		BGErrors:     p.bgErrors.Load(),
 	}
 }
 
@@ -338,7 +382,7 @@ func (p *Pool) makeRoom() error {
 				return fmt.Errorf("buffer: writeback %v: %w", f.Key, err)
 			}
 			if f.dirtyVer == ver {
-				f.dirty = false
+				p.clearDirtyLocked(s, f)
 			}
 			s.mu.Unlock()
 			p.writebacks.Add(1)
@@ -488,11 +532,13 @@ func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
 		return nil, 0, err
 	}
 	key := Key{rel, pageNo}
-	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1, dirty: true, dirtyVer: 1}
+	f := &Frame{Key: key, Data: make(page.Page, page.Size), pins: 1, dirtyVer: 1}
 	s := p.shard(key)
 	s.mu.Lock()
 	s.frames[key] = f
+	p.markDirtyLocked(s, f)
 	s.mu.Unlock()
+	p.bgKick()
 	return f, pageNo, nil
 }
 
@@ -502,18 +548,22 @@ func (p *Pool) NewPage(rel device.OID) (*Frame, uint32, error) {
 func (p *Pool) Release(f *Frame, dirty bool) {
 	s := p.shard(f.Key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if f.pins <= 0 {
+		s.mu.Unlock()
 		panic(fmt.Sprintf("buffer: Release of unpinned frame %v (pins=%d)", f.Key, f.pins))
 	}
 	if dirty {
-		f.dirty = true
+		p.markDirtyLocked(s, f)
 		f.dirtyVer++
 	}
 	f.pins--
 	if f.pins == 0 && f.el == nil && s.frames[f.Key] == f {
 		f.stamp = p.clock.Add(1)
 		f.el = s.lru.PushBack(f)
+	}
+	s.mu.Unlock()
+	if dirty {
+		p.bgKick()
 	}
 }
 
@@ -532,30 +582,34 @@ func (p *Pool) FlushRel(rel device.OID) error {
 	return p.flushWhere(func(k Key) bool { return k.Rel == rel })
 }
 
-// flushWhere snapshots the matching dirty frames (pinning them so they
-// cannot be evicted mid-flush), then writes each back holding only that
-// frame's read latch — never a shard lock — so concurrent cache hits
-// proceed during a commit force. A frame's dirty bit is cleared only
-// after its write returns success, and only if its dirty version is
-// unchanged (no writer re-dirtied it mid-write); a frame some
-// concurrent writeback already cleaned is skipped, because a clear
-// dirty bit now proves the data is durably on the backend. Unpinning
-// restores each frame's LRU position by its preserved stamp: a flush
-// is not a use.
+// flushWhere writes back every dirty frame matching the predicate (nil
+// matches all) via the snapshot/write/unpin pipeline below.
 func (p *Pool) flushWhere(match func(Key) bool) error {
+	_, err := p.flushFrames(p.snapshotDirty(match, 0), false)
+	return err
+}
+
+// snapshotDirty collects up to limit (0 = unbounded) dirty frames
+// matching the predicate, pinned so they cannot be evicted mid-flush,
+// in sorted (relation, page) order — the elevator discipline every
+// real buffer manager uses, which keeps force-at-commit writes as
+// sequential as the data allows. It walks the per-shard dirty sets,
+// never the full frame maps, so the cost is O(dirty).
+func (p *Pool) snapshotDirty(match func(Key) bool, limit int) []*Frame {
 	var dirty []*Frame
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
-		for _, f := range s.frames {
-			if f.dirty && match(f.Key) {
-				f.pins++
-				if f.el != nil {
-					s.lru.Remove(f.el)
-					f.el = nil
-				}
-				dirty = append(dirty, f)
+		for _, f := range s.dirty {
+			if match != nil && !match(f.Key) {
+				continue
 			}
+			f.pins++
+			if f.el != nil {
+				s.lru.Remove(f.el)
+				f.el = nil
+			}
+			dirty = append(dirty, f)
 		}
 		s.mu.Unlock()
 	}
@@ -566,7 +620,25 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		}
 		return a.Page < b.Page
 	})
+	if limit > 0 && len(dirty) > limit {
+		p.unpinFlushed(dirty[limit:])
+		dirty = dirty[:limit]
+	}
+	return dirty
+}
+
+// flushFrames writes each pinned frame back holding only that frame's
+// read latch — never a shard lock — so concurrent cache hits proceed
+// during a commit force. A frame's dirty bit is cleared only after its
+// write returns success, and only if its dirty version is unchanged
+// (no writer re-dirtied it mid-write); a frame some concurrent
+// writeback already cleaned is skipped, because a clear dirty bit now
+// proves the data is durably on the backend. Unpinning restores each
+// frame's LRU position by its preserved stamp: a flush is not a use.
+// Reports how many pages were written.
+func (p *Pool) flushFrames(dirty []*Frame, background bool) (int, error) {
 	var firstErr error
+	var wrote int
 	o, sp := p.obs.Load(), obs.Active()
 	for _, f := range dirty {
 		s := p.shard(f.Key)
@@ -602,13 +674,23 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		}
 		s.mu.Lock()
 		if f.dirtyVer == ver {
-			f.dirty = false
+			p.clearDirtyLocked(s, f)
 		}
 		s.mu.Unlock()
+		wrote++
 		p.writebacks.Add(1)
 		s.writebacks.Add(1)
+		if background {
+			p.bgWritebacks.Add(1)
+		}
 	}
-	for _, f := range dirty {
+	p.unpinFlushed(dirty)
+	return wrote, firstErr
+}
+
+// unpinFlushed returns flush-pinned frames to their LRU positions.
+func (p *Pool) unpinFlushed(frames []*Frame) {
+	for _, f := range frames {
 		s := p.shard(f.Key)
 		s.mu.Lock()
 		f.pins--
@@ -620,7 +702,6 @@ func (p *Pool) flushWhere(match func(Key) bool) error {
 		}
 		s.mu.Unlock()
 	}
-	return firstErr
 }
 
 // InvalidateRel drops all frames of a relation without writing them,
@@ -634,6 +715,10 @@ func (p *Pool) InvalidateRel(rel device.OID) {
 				if f.el != nil {
 					s.lru.Remove(f.el)
 					f.el = nil
+				}
+				if s.dirty[key] == f {
+					delete(s.dirty, key)
+					p.ndirty.Add(-1)
 				}
 				delete(s.frames, key)
 				p.nframes.Add(-1)
@@ -657,9 +742,11 @@ func (p *Pool) Crash() {
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.frames = make(map[Key]*Frame)
+		s.dirty = make(map[Key]*Frame)
 		s.lru.Init()
 	}
 	p.nframes.Store(0)
+	p.ndirty.Store(0)
 	for i := range p.shards {
 		p.shards[i].mu.Unlock()
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
@@ -83,6 +84,28 @@ type Options struct {
 	// TrackATime records access times on reads (costs a metadata
 	// update per read transaction; off by default).
 	TrackATime bool
+	// BackgroundWriter starts the buffer pool's background writer:
+	// eviction writebacks move off the foreground, and a commit's data
+	// force flushes only the recent dirty set the writer has not
+	// reached yet. Off by default — the writer's wall-clock pacing
+	// would make the simulated-clock benchmark digits nondeterministic,
+	// so only wall-clock deployments (invd, the scaling benchmarks)
+	// enable it.
+	BackgroundWriter bool
+	// BGWriter tunes the background writer when enabled (zero values
+	// select buffer.BGConfig defaults).
+	BGWriter buffer.BGConfig
+	// CheckpointEvery, when positive, checkpoints the transaction log
+	// at this wall-clock interval: the current horizon is persisted in
+	// the log's control page so the next recovery reads only log pages
+	// covering recent transactions. 0 disables (DB.Checkpoint can
+	// still be called manually).
+	CheckpointEvery time.Duration
+	// GroupCommitWindow, when positive, lets a commit-batch leader hold
+	// its force open this long to absorb concurrent committers into one
+	// log force (see txn.Manager.CommitWindow). 0 (default) forces
+	// immediately.
+	GroupCommitWindow time.Duration
 }
 
 // FileFunc is a user-defined function over a file, executed inside the
@@ -122,6 +145,11 @@ type DB struct {
 
 	vacMu   sync.Mutex
 	vacRuns []sysview.VacuumRow // recent vacuum runs, newest first
+
+	stopBG   func()        // background writer, when started
+	stopCkpt chan struct{} // closed to stop the checkpointer
+	ckptWg   sync.WaitGroup
+	closeMu  sync.Mutex // Close is idempotent on the goroutines
 }
 
 // maxVacuumRuns bounds the in-memory vacuum history inv_vacuum serves.
@@ -146,6 +174,7 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	if opts.TimeSource != nil {
 		mgr.TimeSource = opts.TimeSource
 	}
+	mgr.CommitWindow = opts.GroupCommitWindow
 	pool := buffer.NewPool(sw, opts.Buffers)
 	mgr.ForceData = func() error {
 		if err := pool.FlushAll(); err != nil {
@@ -239,7 +268,35 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	db.views.Register(sysview.NewTransactions(mgr))
 	db.views.Register(sysview.NewRelations(db.relRows))
 	db.views.Register(sysview.NewVacuum(db.vacuumRuns))
+	db.views.Register(sysview.NewStatTxn(db.metrics, mgr, pool))
 	db.views.Register(sysview.NewColumnsCatalog(db.views))
+
+	// Optional background machinery. Both are wall-clock paced, so the
+	// simulated-clock benchmarks leave them off; when off, commits and
+	// recovery behave exactly as before this machinery existed.
+	if opts.BackgroundWriter {
+		db.stopBG = pool.StartBackgroundWriter(opts.BGWriter)
+	}
+	if opts.CheckpointEvery > 0 {
+		db.stopCkpt = make(chan struct{})
+		db.ckptWg.Add(1)
+		go func() {
+			defer db.ckptWg.Done()
+			ticker := time.NewTicker(opts.CheckpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-db.stopCkpt:
+					return
+				case <-ticker.C:
+					// Errors are deliberately dropped: a failed
+					// checkpoint leaves the previous (still correct)
+					// checkpoint in place, and the next tick retries.
+					_ = db.mgr.Checkpoint()
+				}
+			}
+		}()
+	}
 
 	// Bootstrap the root directory if this database is fresh: "The
 	// root directory, named '/', appears in every POSTGRES database as
@@ -396,6 +453,9 @@ func (db *DB) RefreshObsGauges() {
 	m.Gauge("catalog.functions").Set(int64(len(db.cat.Functions())))
 	m.Gauge("txn.horizon_xid").Set(int64(db.mgr.Horizon()))
 	m.Gauge("txn.last_commit_unix_ns").Set(db.mgr.LastCommitTime())
+	m.Gauge("txn.checkpoint_xid").Set(int64(db.log.CheckpointXID()))
+	ps := db.pool.Stats()
+	m.Gauge("buffer.dirty_pages").Set(ps.DirtyPages)
 }
 
 // Stats aggregates operational counters for monitoring.
@@ -444,10 +504,31 @@ func (db *DB) Stats() Stats {
 	}
 }
 
+// Checkpoint persists the current transaction horizon in the log's
+// control page, bounding the log pages the next recovery must read.
+func (db *DB) Checkpoint() error { return db.mgr.Checkpoint() }
+
+// stopBackground halts the background writer and checkpointer (if
+// started), waiting for both goroutines to exit. Idempotent.
+func (db *DB) stopBackground() {
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	if db.stopBG != nil {
+		db.stopBG()
+		db.stopBG = nil
+	}
+	if db.stopCkpt != nil {
+		close(db.stopCkpt)
+		db.ckptWg.Wait()
+		db.stopCkpt = nil
+	}
+}
+
 // Close flushes every dirty page and forces the devices, leaving the
 // database cleanly reopenable. Device managers themselves (e.g. a
 // persistent FileDisk) are owned by the caller and closed separately.
 func (db *DB) Close() error {
+	db.stopBackground()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -456,7 +537,10 @@ func (db *DB) Close() error {
 
 // Crash simulates a machine crash for recovery tests: the buffer cache
 // is lost; stable storage survives. Reopen with Recover.
-func (db *DB) Crash() { db.pool.Crash() }
+func (db *DB) Crash() {
+	db.stopBackground()
+	db.pool.Crash()
+}
 
 // Recover reopens the database over the same devices after a Crash.
 // There is no consistency check pass: recovery is the reopen itself.

@@ -338,6 +338,58 @@ func NewTraces(ring *obs.TraceRing) VirtualRel {
 	}
 }
 
+// NewStatTxn returns inv_stat_txn: the commit pipeline's operational
+// counters as stat/value rows — group-commit batching effectiveness,
+// commit-force latency, log checkpoint state, and background-writer
+// progress. Values with no natural integer form (means, ratios) are
+// carried in the float column; everything else is exact.
+func NewStatTxn(reg *obs.Registry, mgr *txn.Manager, pool *buffer.Pool) VirtualRel {
+	return &funcRel{
+		name: "inv_stat_txn",
+		doc:  "commit pipeline statistics: group commit, log forces, checkpoints, background writer",
+		cols: []Column{
+			{"stat", value.KindString, "statistic name"},
+			{"value", value.KindFloat, "current value (cumulative counters, or point-in-time gauges)"},
+			{"doc", value.KindString, "one-line description"},
+		},
+		rows: func() ([][]value.V, error) {
+			row := func(name string, v float64, doc string) []value.V {
+				return []value.V{value.Str(name), value.Float(v), value.Str(doc)}
+			}
+			bs := reg.Histogram("txn.group_commit.batch_size").Snapshot("")
+			lw := reg.Histogram("txn.group_commit.leader_wait_ns").Snapshot("")
+			cf := reg.Histogram("txn.commit_force_ns").Snapshot("")
+			meanBatch := 0.0
+			if bs.Count > 0 {
+				meanBatch = float64(bs.SumNs) / float64(bs.Count)
+			}
+			log := mgr.Log()
+			loaded, total := log.LoadedPages()
+			ps := pool.Stats()
+			return [][]value.V{
+				row("group_commit.batches", float64(bs.Count), "commit batches forced (one leader each)"),
+				row("group_commit.commits", float64(bs.SumNs), "transactions committed through the group pipeline"),
+				row("group_commit.batch_size_mean", meanBatch, "mean committers per batch (1.0 = no batching)"),
+				row("group_commit.forces_saved", float64(reg.Counter("txn.group_commit.forces_saved").Load()), "log forces avoided by riding a leader's batch"),
+				row("group_commit.leader_wait_p50_ns", float64(lw.Quantile(0.50)), "median follower wait for its leader's force"),
+				row("group_commit.leader_wait_p95_ns", float64(lw.Quantile(0.95)), "95th-percentile follower wait"),
+				row("commit_force_count", float64(cf.Count), "commit forces timed (includes solo commits)"),
+				row("commit_force_p50_ns", float64(cf.Quantile(0.50)), "median commit force latency"),
+				row("commit_force_p95_ns", float64(cf.Quantile(0.95)), "95th-percentile commit force latency"),
+				row("log.forces", float64(log.Forces()), "log force-and-sync rounds completed"),
+				row("log.checkpoint_xid", float64(log.CheckpointXID()), "horizon persisted by the last checkpoint"),
+				row("log.lazy_loads", float64(log.LazyLoads()), "pre-checkpoint log pages faulted in on demand"),
+				row("log.pages_loaded", float64(loaded), "log pages resident in memory"),
+				row("log.pages_total", float64(total), "log pages on disk"),
+				row("buffer.dirty_pages", float64(ps.DirtyPages), "dirty pages awaiting writeback"),
+				row("buffer.bg_writebacks", float64(ps.BGWritebacks), "pages written by the background writer"),
+				row("buffer.bg_rounds", float64(ps.BGRounds), "background flush rounds that made progress"),
+				row("buffer.bg_errors", float64(ps.BGErrors), "background writeback errors (pages left dirty)"),
+			}, nil
+		},
+	}
+}
+
 // NewColumnsCatalog returns inv_columns, the meta-catalog: one row per
 // column of every registered virtual relation, so clients (invql \dv)
 // can discover the catalogs over the wire with a plain query. It reads

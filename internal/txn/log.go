@@ -32,7 +32,15 @@ const (
 //
 //	0..7   magic
 //	8..11  reservedXID: all XIDs below this may have been handed out
-//	12..15 reserved
+//	12..15 checkpointXID: every XID below this has its final status
+//	       durably on the device (see Checkpoint)
+//
+// A page slot may be nil: pages wholly below the checkpoint are not
+// read at open (recovery stays O(recent), not O(history)) and are
+// faulted in lazily on the first State/CommitTime that needs them.
+// Only reads ever touch the lazy range — statuses are written only for
+// live transactions, which are all at or above any checkpoint — so a
+// nil slot is never written into.
 type Log struct {
 	mu       sync.Mutex
 	dev      device.Manager
@@ -41,6 +49,10 @@ type Log struct {
 	dirtyS   map[int]bool
 	dirtyT   map[int]bool
 	reserved XID
+	ckpt     XID
+
+	lazyLoads int64 // pages faulted in below the checkpoint (tests/metrics)
+	forces    int64 // successful full forces
 }
 
 const logMagic = 0x1993_0426_494e_5646 // "INVF", April 1993
@@ -49,7 +61,10 @@ const logMagic = 0x1993_0426_494e_5646 // "INVF", April 1993
 const xidReserveChunk = 4096
 
 // OpenLog opens (or initialises) the transaction logs on dev. The
-// status and time relations are created if missing.
+// status and time relations are created if missing. Pages covering
+// XIDs at or above the persisted checkpoint are read eagerly — they
+// are the ones recovery and visibility checks will consult — while
+// older pages load on demand.
 func OpenLog(dev device.Manager) (*Log, error) {
 	l := &Log{
 		dev:    dev,
@@ -62,30 +77,17 @@ func OpenLog(dev device.Manager) (*Log, error) {
 	if err := dev.Create(TimeLogRel); err != nil {
 		return nil, err
 	}
-	// Load existing pages.
 	n, err := dev.NPages(StatusLogRel)
 	if err != nil {
 		return nil, err
-	}
-	for p := uint32(0); p < n; p++ {
-		buf := make([]byte, device.PageSize)
-		if err := dev.ReadPage(StatusLogRel, p, buf); err != nil {
-			return nil, err
-		}
-		l.status = append(l.status, buf)
 	}
 	nt, err := dev.NPages(TimeLogRel)
 	if err != nil {
 		return nil, err
 	}
-	for p := uint32(0); p < nt; p++ {
-		buf := make([]byte, device.PageSize)
-		if err := dev.ReadPage(TimeLogRel, p, buf); err != nil {
-			return nil, err
-		}
-		l.times = append(l.times, buf)
-	}
-	if len(l.status) == 0 {
+	l.status = make([][]byte, n)
+	l.times = make([][]byte, nt)
+	if n == 0 {
 		// Fresh database: create the control page, mark bootstrap
 		// committed.
 		ctrl := make([]byte, device.PageSize)
@@ -101,11 +103,55 @@ func OpenLog(dev device.Manager) (*Log, error) {
 		}
 		return l, nil
 	}
+	if err := l.readPage(StatusLogRel, l.status, 0); err != nil {
+		return nil, err
+	}
 	if binary.LittleEndian.Uint64(l.status[0][0:]) != logMagic {
 		return nil, fmt.Errorf("txn: status log corrupt (bad magic)")
 	}
 	l.reserved = XID(binary.LittleEndian.Uint32(l.status[0][8:]))
+	l.ckpt = XID(binary.LittleEndian.Uint32(l.status[0][12:]))
+	// Eager window: everything the checkpoint does not cover. With no
+	// checkpoint ever taken this is every page — the pre-checkpoint
+	// behaviour, byte for byte.
+	firstS, _, _ := statusLoc(l.ckpt)
+	firstT, _ := timeLoc(l.ckpt)
+	for p := firstS; p < len(l.status); p++ {
+		if err := l.readPage(StatusLogRel, l.status, p); err != nil {
+			return nil, err
+		}
+	}
+	for p := firstT; p < len(l.times); p++ {
+		if err := l.readPage(TimeLogRel, l.times, p); err != nil {
+			return nil, err
+		}
+	}
 	return l, nil
+}
+
+// readPage fills one cache slot from the device (no-op if loaded).
+func (l *Log) readPage(rel device.OID, pages [][]byte, pi int) error {
+	if pages[pi] != nil {
+		return nil
+	}
+	buf := make([]byte, device.PageSize)
+	if err := l.dev.ReadPage(rel, uint32(pi), buf); err != nil {
+		return err
+	}
+	pages[pi] = buf
+	return nil
+}
+
+// lazyPage returns the page, faulting it in from the device if it sits
+// in the lazy (below-checkpoint) range. Caller holds l.mu.
+func (l *Log) lazyPage(rel device.OID, pages [][]byte, pi int) ([]byte, error) {
+	if pages[pi] == nil {
+		if err := l.readPage(rel, pages, pi); err != nil {
+			return nil, err
+		}
+		l.lazyLoads++
+	}
+	return pages[pi], nil
 }
 
 func (l *Log) setReserved(x XID) {
@@ -134,6 +180,73 @@ func (l *Log) ReserveThrough(x XID) error {
 	l.setReserved(l.reserved)
 	l.mu.Unlock()
 	return l.Force()
+}
+
+// Checkpoint records that every XID below x has its durably-final
+// status on the device, then forces the control page (and any other
+// dirty log pages). The next OpenLog reads only pages from x on,
+// bounding recovery work by the recently active window instead of the
+// whole transaction history. The checkpoint never regresses.
+//
+// Safety: callers pass a horizon — a bound below which no transaction
+// is live. Every committed XID below the horizon had its commit record
+// forced (with sync) before its Commit returned, so the on-device
+// image of any still-dirty status page already contains those bits;
+// transactions that never durably committed read as aborted from a
+// stale page, which is exactly recovery's rule for them.
+func (l *Log) Checkpoint(x XID) error {
+	l.mu.Lock()
+	if x <= l.ckpt {
+		l.mu.Unlock()
+		return nil
+	}
+	l.ckpt = x
+	binary.LittleEndian.PutUint32(l.status[0][12:], uint32(x))
+	l.dirtyS[0] = true
+	l.mu.Unlock()
+	return l.Force()
+}
+
+// CheckpointXID reports the persisted checkpoint (0 if none was ever
+// taken).
+func (l *Log) CheckpointXID() XID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckpt
+}
+
+// LazyLoads reports how many log pages were faulted in below the
+// checkpoint since open — the recovery work the checkpoint deferred.
+func (l *Log) LazyLoads() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lazyLoads
+}
+
+// LoadedPages reports how many status/time pages are resident, and how
+// many exist in total — OpenLog after a checkpoint loads fewer than it
+// would have.
+func (l *Log) LoadedPages() (loaded, total int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range l.status {
+		if p != nil {
+			loaded++
+		}
+	}
+	for _, p := range l.times {
+		if p != nil {
+			loaded++
+		}
+	}
+	return loaded, len(l.status) + len(l.times)
+}
+
+// Forces reports how many full forces have succeeded.
+func (l *Log) Forces() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forces
 }
 
 // statusLoc maps an XID to (page index, byte offset, bit shift) in the
@@ -169,7 +282,8 @@ func (l *Log) ensureTimePage(pageIdx int) {
 }
 
 // setStatus records the 2-bit state of x. Caller holds l.mu or is in
-// bootstrap.
+// bootstrap. Statuses are only ever set for XIDs at or above every
+// checkpoint (live transactions), so the page is never a lazy slot.
 func (l *Log) setStatus(x XID, s Status) {
 	pi, off, shift := statusLoc(x)
 	l.ensureStatusPage(pi)
@@ -199,7 +313,12 @@ func (l *Log) SetState(x XID, s Status, commitTime int64) {
 	}
 }
 
-// State reads the recorded state of x.
+// State reads the recorded state of x. A page below the checkpoint is
+// faulted in on first use; if that read fails the state is reported
+// in-progress for this call only (nothing is cached), so a healed
+// device answers correctly on the next call — the same transient-error
+// posture data-page reads already have, where the heap fetch itself
+// fails loudly before visibility is ever consulted.
 func (l *Log) State(x XID) Status {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -207,10 +326,15 @@ func (l *Log) State(x XID) Status {
 	if pi >= len(l.status) {
 		return StatusInProgress
 	}
-	return Status((l.status[pi][off] >> shift) & 3)
+	pg, err := l.lazyPage(StatusLogRel, l.status, pi)
+	if err != nil {
+		return StatusInProgress
+	}
+	return Status((pg[off] >> shift) & 3)
 }
 
-// CommitTime reads the recorded commit time of x (0 if none).
+// CommitTime reads the recorded commit time of x (0 if none, or if a
+// lazy page read failed — see State).
 func (l *Log) CommitTime(x XID) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -218,7 +342,11 @@ func (l *Log) CommitTime(x XID) int64 {
 	if pi >= len(l.times) {
 		return 0
 	}
-	return int64(binary.LittleEndian.Uint64(l.times[pi][off:]))
+	pg, err := l.lazyPage(TimeLogRel, l.times, pi)
+	if err != nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(pg[off:]))
 }
 
 // Force writes every dirty log page through to the device. This is the
@@ -237,6 +365,13 @@ func (l *Log) Force() error {
 	return err
 }
 
+// force writes the dirty pages and syncs the device. Dirty bits are
+// cleared only after the WHOLE force — including the sync barrier —
+// has succeeded: a page that was written but never synced is not
+// durable, and clearing its bit early would let the next force skip it
+// forever, silently breaking the clean-implies-durable protocol the
+// buffer pool already honors. l.mu is held across write+sync, so no
+// new dirty bit can appear between the writes and the clear.
 func (l *Log) force() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -246,9 +381,21 @@ func (l *Log) force() error {
 	if err := l.forcePages(TimeLogRel, l.times, l.dirtyT); err != nil {
 		return err
 	}
-	return l.dev.Sync()
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	for pi := range l.dirtyS {
+		delete(l.dirtyS, pi)
+	}
+	for pi := range l.dirtyT {
+		delete(l.dirtyT, pi)
+	}
+	l.forces++
+	return nil
 }
 
+// forcePages writes rel's dirty pages, leaving the dirty set intact for
+// the caller to clear after the sync barrier.
 func (l *Log) forcePages(rel device.OID, pages [][]byte, dirty map[int]bool) error {
 	n, err := l.dev.NPages(rel)
 	if err != nil {
@@ -264,7 +411,6 @@ func (l *Log) forcePages(rel device.OID, pages [][]byte, dirty map[int]bool) err
 		if err := l.dev.WritePage(rel, uint32(pi), pages[pi]); err != nil {
 			return err
 		}
-		delete(dirty, pi)
 	}
 	return nil
 }

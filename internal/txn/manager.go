@@ -71,17 +71,38 @@ type Manager struct {
 	// giving the no-overwrite manager durability without a WAL.
 	ForceData func() error
 
+	// CommitWindow, when positive, lets a batch leader hold its force
+	// open this long while other live transactions exist outside the
+	// batch, absorbing late committers into the same force. 0 (the
+	// default) forces immediately — the right choice when syncs are
+	// cheap or committers are rare; sync-bound deployments opt in.
+	CommitWindow time.Duration
+
+	// gc is the group-commit pipeline every Commit force goes through;
+	// a solo committer leads a batch of one and performs exactly the
+	// writes the old per-transaction path did, in the same order.
+	gc    groupCommit
+	gcObs atomic.Pointer[gcObs]
+
 	forceNs atomic.Pointer[obs.Histogram] // full commit-force latency
 }
 
 // SetObs attaches a metrics registry: commits record their full force
-// path (data flush + log force) in "txn.commit_force_ns", and the lock
-// manager records contended-acquisition park time.
+// path (data flush + log force) in "txn.commit_force_ns", the
+// group-commit pipeline records batch sizes, saved forces, and follower
+// wait under "txn.group_commit.*", and the lock manager records
+// contended-acquisition park time.
 func (m *Manager) SetObs(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	m.forceNs.Store(reg.Histogram("txn.commit_force_ns"))
+	m.gcObs.Store(&gcObs{
+		batchSize:   reg.Histogram("txn.group_commit.batch_size"),
+		forcesSaved: reg.Counter("txn.group_commit.forces_saved"),
+		leaderWait:  reg.Histogram("txn.group_commit.leader_wait_ns"),
+		batches:     reg.Counter("txn.group_commit.batches"),
+	})
 	m.locks.SetObs(reg)
 }
 
@@ -172,6 +193,14 @@ func (m *Manager) Begin() (*Tx, error) {
 
 	if needReserve {
 		if err := m.log.ReserveThrough(id); err != nil {
+			// The transaction never existed as far as callers are
+			// concerned, so it must not linger in the live set: a
+			// leaked entry would pin Horizon() at this XID forever
+			// (vacuum could never advance) and show up in
+			// inv_transactions as an ageless ghost.
+			m.mu.Lock()
+			delete(m.live, id)
+			m.mu.Unlock()
 			return nil, err
 		}
 	}
@@ -224,33 +253,29 @@ func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
 	return nil
 }
 
-// Commit makes the transaction's changes durable and visible: dirty
-// data pages are forced (via Manager.ForceData), then the status log
-// records the commit and is forced. If the data force fails the
-// transaction aborts.
+// Commit makes the transaction's changes durable and visible through
+// the group-commit pipeline: the committer takes a commit timestamp and
+// enqueues; a batch leader forces dirty data pages once (via
+// Manager.ForceData), publishes every member's commit record, and
+// forces the status log once for the whole batch. A solo committer
+// leads its own batch of one and performs exactly the old
+// per-transaction sequence. If the batch force fails every member
+// converges to abort, exactly as the single-committer path did.
 func (tx *Tx) Commit() error {
 	if !tx.claimEnd() {
 		return ErrTxDone
 	}
 	m := tx.mgr
-	// The registry histogram covers the whole force path (data flush +
-	// log force). The active span is charged inside Log.Force itself —
-	// not here — so forces outside commit (XID reservation in Begin)
-	// are attributed too, and the data flush already charged its page
-	// writes as buffer writes.
+	// The registry histogram covers the whole force path (queue wait +
+	// data flush + log force). The active span is charged inside
+	// Log.Force itself for the leader — so forces outside commit (XID
+	// reservation in Begin) are attributed too, and the leader's data
+	// flush already charged its page writes as buffer writes — while a
+	// follower charges its whole wait as commit-force time below.
 	h := m.forceNs.Load()
 	var f0 time.Time
-	if h != nil {
+	if h != nil || obs.Active() != nil {
 		f0 = time.Now()
-	}
-	if m.ForceData != nil {
-		if err := m.ForceData(); err != nil {
-			// The end is already claimed, so abort inline rather than
-			// through Abort (which would see the claim and refuse).
-			m.log.SetState(tx.id, StatusAborted, 0)
-			tx.finish(false)
-			return err
-		}
 	}
 	m.mu.Lock()
 	t := m.TimeSource()
@@ -260,22 +285,34 @@ func (tx *Tx) Commit() error {
 	m.lastCommitTime = t
 	m.mu.Unlock()
 
-	m.log.SetState(tx.id, StatusCommitted, t)
-	err := m.log.Force()
+	err, led := m.commit(tx.id, t)
 	if h != nil {
 		h.Observe(int64(time.Since(f0)))
 	}
+	if !led {
+		wait := int64(time.Since(f0))
+		if sp := obs.Active(); sp != nil {
+			// The leader's span was charged inside Log.Force and the
+			// buffer writebacks; a follower's request really did spend
+			// this wall time on commit durability, so charge the wait.
+			sp.AddCommitForce(wait)
+		}
+		if o := m.gcObs.Load(); o != nil {
+			o.leaderWait.Observe(wait)
+		}
+	}
 	if err != nil {
-		// The commit record may or may not have reached stable storage
-		// before the force died, so the durable outcome is ambiguous.
-		// Converge on abort: the cached log says aborted (re-forced on
-		// the next successful Force) and the transaction is finished,
-		// so it cannot linger in the live set pinning the horizon. If
-		// the process dies before another force, recovery may instead
-		// see the commit — either outcome is internally consistent
-		// because the data pages were already forced.
-		m.log.SetState(tx.id, StatusAborted, 0)
+		// forceBatch already converged this transaction to abort in the
+		// cached log; finish so it cannot linger in the live set pinning
+		// the horizon. A data-flush failure reports the raw error (the
+		// transaction aborted cleanly before any commit record existed);
+		// a log-force failure names the converged outcome because the
+		// durable state is ambiguous until the next successful force.
 		tx.finish(false)
+		var be *batchError
+		if errors.As(err, &be) && be.dataPhase {
+			return be.err
+		}
 		return fmt.Errorf("txn: commit force failed, transaction aborted: %w", err)
 	}
 	// The commit record is on stable storage: the outcome is final, so
@@ -381,6 +418,15 @@ func (m *Manager) Horizon() XID {
 		}
 	}
 	return h
+}
+
+// Checkpoint persists the current horizon as the log's checkpoint XID
+// and forces the control page: every transaction below the horizon is
+// finished and its durable status already on the device, so the next
+// recovery (OpenLog) reads only log pages from the horizon up —
+// O(recently active), not O(history).
+func (m *Manager) Checkpoint() error {
+	return m.log.Checkpoint(m.Horizon())
 }
 
 // ActiveTxn is one live transaction as reported by ActiveTxns: its
