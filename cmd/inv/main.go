@@ -18,6 +18,7 @@
 //	  sh                         interactive shell (transactions!)
 //	  migrate PATH CLASS         move a file to another device class
 //	  vacuum                     run the vacuum cleaner
+//	  scrub                      run the full on-media integrity pass
 package main
 
 import (
@@ -209,6 +210,22 @@ func run(addr, owner string, args []string) error {
 		}
 		fmt.Printf("vacuumed %d relations: scanned %d, archived %d, removed %d\n",
 			rels, scanned, archived, removed)
+		return nil
+	case "scrub":
+		rep, err := c.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Summary())
+		for _, p := range rep.Corrupt {
+			fmt.Printf("corrupt: %s\n", p)
+		}
+		for _, p := range rep.Problems {
+			fmt.Printf("problem: %s\n", p)
+		}
+		if !rep.OK() {
+			return fmt.Errorf("scrub found problems")
+		}
 		return nil
 	case "stats":
 		st, err := c.Stats()

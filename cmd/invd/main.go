@@ -49,6 +49,8 @@ func main() {
 			"interval between transaction-log checkpoints, which bound how much log a restart must eagerly read (0 disables)")
 		commitWindow = flag.Duration("commit-window", 0,
 			"how long a group-commit leader holds the log force open for other committers to join its batch (0 forces immediately; try 2ms on sync-bound devices)")
+		scrubOnStart = flag.Bool("scrub-on-start", false,
+			"run the full integrity scrub (media, B-trees, namespace, chunks, txn log) after opening the database and refuse to serve if it is not clean")
 	)
 	flag.Parse()
 	opts := inversion.Options{
@@ -57,13 +59,13 @@ func main() {
 		CheckpointEvery:   *ckptEvery,
 		GroupCommitWindow: *commitWindow,
 	}
-	if err := run(*addr, opts, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp); err != nil {
+	if err := run(*addr, opts, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp, *scrubOnStart); err != nil {
 		fmt.Fprintln(os.Stderr, "invd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opts inversion.Options, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration) error {
+func run(addr string, opts inversion.Options, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration, scrubOnStart bool) error {
 	var (
 		db      *inversion.DB
 		fd      *inversion.FileDiskDevice
@@ -109,6 +111,23 @@ func run(addr string, opts inversion.Options, devices, dflt, data string, idle, 
 		db, err = inversion.Open(sw, opts)
 		if err != nil {
 			return err
+		}
+	}
+	if scrubOnStart {
+		rep, err := db.Scrub()
+		if err != nil {
+			return fmt.Errorf("scrub-on-start: %w", err)
+		}
+		log.Printf("invd: %s", rep.Summary())
+		if !rep.OK() {
+			for _, c := range rep.Media.Corrupt {
+				log.Printf("invd: scrub: media: %s", c.String())
+			}
+			for _, p := range rep.Problems {
+				log.Printf("invd: scrub: %s", p)
+			}
+			return fmt.Errorf("scrub-on-start: database is not clean (%d media faults, %d problems)",
+				len(rep.Media.Corrupt), len(rep.Problems))
 		}
 	}
 	if err := inversion.RegisterStandardTypes(db.NewSession("invd")); err != nil {

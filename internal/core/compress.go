@@ -24,6 +24,9 @@ const (
 	chunkFlate byte = 1
 )
 
+// compressOverhead is the envelope size: method(1) | rawLen(4).
+const compressOverhead = 5
+
 // compressChunk wraps chunk contents in the compression envelope:
 // method(1) | rawLen(4) | payload.
 func compressChunk(data []byte) ([]byte, error) {

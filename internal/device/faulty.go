@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // FaultOp names a device operation class that Faulty can inject
@@ -86,6 +88,23 @@ type Faulty struct {
 	trips  uint64
 	down   bool
 	rules  []*faultRule
+
+	obsTrips   *obs.Counter // injected failures ("device.faults_injected")
+	obsCrashes *obs.Counter // crash rules fired ("device.fault_crashes")
+}
+
+// SetObs attaches a metrics registry: every injected failure counts in
+// "device.faults_injected" and every crash-rule firing in
+// "device.fault_crashes", so fault-injection and torture runs show up
+// in /metrics like every other subsystem.
+func (f *Faulty) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	f.mu.Lock()
+	f.obsTrips = reg.Counter("device.faults_injected")
+	f.obsCrashes = reg.Counter("device.fault_crashes")
+	f.mu.Unlock()
 }
 
 // NewFaulty wraps inner. The seed drives probabilistic rules
@@ -223,8 +242,10 @@ func (f *Faulty) check(op FaultOp, rel OID, page uint32) error {
 		}
 		if errors.Is(r.err, ErrCrashed) {
 			f.down = true
+			f.obsCrashes.Inc()
 		}
 		f.trips++
+		f.obsTrips.Inc()
 		fired = r
 		break
 	}

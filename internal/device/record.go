@@ -1,0 +1,201 @@
+package device
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// RecKind classifies one recorded backend operation.
+type RecKind uint8
+
+const (
+	RecCreate RecKind = iota
+	RecDrop
+	RecExtend
+	RecWrite
+	RecSync
+)
+
+func (k RecKind) String() string {
+	switch k {
+	case RecCreate:
+		return "create"
+	case RecDrop:
+		return "drop"
+	case RecExtend:
+		return "extend"
+	case RecWrite:
+		return "write"
+	case RecSync:
+		return "sync"
+	}
+	return "rec?"
+}
+
+// RecOp is one operation that reached the backend device, in issue
+// order. Write ops carry a private copy of the page payload (so a
+// recorded trace can be replayed byte-for-byte later, whatever the
+// caller did with its buffer since) plus an FNV-64a hash for compact
+// diagnostics. Extend carries the page number the device returned.
+type RecOp struct {
+	Kind RecKind
+	Rel  OID
+	Page uint32
+	Data []byte
+	Hash uint64
+}
+
+// PayloadHash is the hash recorded for write payloads (FNV-64a).
+func PayloadHash(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Recorder wraps a device manager and logs every operation that
+// succeeds against it — writes (with payload), syncs, extends, creates,
+// drops. The recorded sequence is the raw material of crash-state
+// enumeration: a sync op is a durability barrier, and everything
+// between two barriers is fair game for loss and reordering.
+//
+// Failed operations are not recorded: an op the inner device rejected
+// never changed stable storage, so it is not part of any crash state.
+// Recorder composes with Faulty in either order (both implement
+// Manager); stacking Faulty above the Recorder keeps injected failures
+// out of the trace, which is what the torture harness wants.
+type Recorder struct {
+	inner Manager
+
+	mu  sync.Mutex
+	ops []RecOp
+
+	writes  *obs.Counter // recorded write ops
+	syncs   *obs.Counter // recorded sync barriers
+	extends *obs.Counter // recorded extends
+	metas   *obs.Counter // recorded create/drop ops
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Manager) *Recorder { return &Recorder{inner: inner} }
+
+// SetObs attaches a metrics registry: recorded traffic shows up under
+// "torture.recorded_*", so a harness run is visible in /metrics like
+// every other subsystem.
+func (r *Recorder) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	r.writes = reg.Counter("torture.recorded_writes")
+	r.syncs = reg.Counter("torture.recorded_syncs")
+	r.extends = reg.Counter("torture.recorded_extends")
+	r.metas = reg.Counter("torture.recorded_meta_ops")
+	r.mu.Unlock()
+}
+
+func (r *Recorder) record(op RecOp) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	switch op.Kind {
+	case RecWrite:
+		r.writes.Inc()
+	case RecSync:
+		r.syncs.Inc()
+	case RecExtend:
+		r.extends.Inc()
+	default:
+		r.metas.Inc()
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many operations have been recorded. Called right
+// after an acknowledged commit it gives an index i such that any crash
+// at or beyond i includes that commit's sync barrier.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Trace returns a copy of the recorded operation sequence.
+func (r *Recorder) Trace() []RecOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RecOp, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Reset discards the recorded trace (counters are kept).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.ops = nil
+	r.mu.Unlock()
+}
+
+// Manager implementation.
+
+// Class reports the wrapped manager's class, so placement and the
+// log-device preference behave exactly as they would unwrapped.
+func (r *Recorder) Class() string { return r.inner.Class() }
+
+// Create delegates and records.
+func (r *Recorder) Create(rel OID) error {
+	if err := r.inner.Create(rel); err != nil {
+		return err
+	}
+	r.record(RecOp{Kind: RecCreate, Rel: rel})
+	return nil
+}
+
+// Drop delegates and records.
+func (r *Recorder) Drop(rel OID) error {
+	if err := r.inner.Drop(rel); err != nil {
+		return err
+	}
+	r.record(RecOp{Kind: RecDrop, Rel: rel})
+	return nil
+}
+
+// NPages delegates (reads are not part of a crash state).
+func (r *Recorder) NPages(rel OID) (uint32, error) { return r.inner.NPages(rel) }
+
+// Extend delegates and records the new page number.
+func (r *Recorder) Extend(rel OID) (uint32, error) {
+	pn, err := r.inner.Extend(rel)
+	if err != nil {
+		return 0, err
+	}
+	r.record(RecOp{Kind: RecExtend, Rel: rel, Page: pn})
+	return pn, nil
+}
+
+// ReadPage delegates.
+func (r *Recorder) ReadPage(rel OID, page uint32, buf []byte) error {
+	return r.inner.ReadPage(rel, page, buf)
+}
+
+// WritePage delegates and records a payload copy.
+func (r *Recorder) WritePage(rel OID, page uint32, buf []byte) error {
+	if err := r.inner.WritePage(rel, page, buf); err != nil {
+		return err
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	r.record(RecOp{Kind: RecWrite, Rel: rel, Page: page, Data: cp, Hash: PayloadHash(cp)})
+	return nil
+}
+
+// Sync delegates and records the durability barrier.
+func (r *Recorder) Sync() error {
+	if err := r.inner.Sync(); err != nil {
+		return err
+	}
+	r.record(RecOp{Kind: RecSync})
+	return nil
+}
+
+var _ Manager = (*Recorder)(nil)

@@ -1,0 +1,336 @@
+package torture
+
+import (
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// EnumOpts configures crash-state enumeration.
+type EnumOpts struct {
+	// Start is the first legal crash index: states before the workload
+	// barrier (mkfs/bootstrap) are out of scope.
+	Start int
+	// Exhaustive adds the full per-window cartesian product of page
+	// choices for every crash index (deduplicated, capped by MaxStates).
+	Exhaustive bool
+	// Seed drives the random sampling pass.
+	Seed int64
+	// Samples is the number of random (crashIndex, choices) states to
+	// draw. Default 128.
+	Samples int
+	// MaxStates caps how many distinct states are visited. Default
+	// 4000. The cap is reported, never silent (EnumStats.Capped).
+	MaxStates int
+}
+
+// EnumStats reports what an enumeration covered.
+type EnumStats struct {
+	Ops         int  // recorded trace length
+	CrashPoints int  // distinct crash indices in scope
+	Generated   int  // states generated before deduplication
+	Visited     int  // distinct states handed to the visitor
+	Deduped     int  // states skipped as byte-identical to a visited one
+	Capped      bool // MaxStates stopped the walk early
+}
+
+// errStopEnum aborts the walk without error (cap reached, or the
+// visitor has seen enough violations).
+var errStopEnum = errors.New("torture: enumeration stopped")
+
+// ErrStop is returned by a visitor to stop enumeration early without
+// failing it.
+var ErrStop = errStopEnum
+
+// traceIndex precomputes per-trace tables the signature function needs:
+// a running hash of the metadata-op prefix, the last barrier before
+// each index, and every page's global write-index list.
+type traceIndex struct {
+	ops        []device.RecOp
+	metaHash   []uint64 // metaHash[i] covers metadata ops in ops[0:i]
+	syncBefore []int    // syncBefore[i] = last sync index < i, or -1
+	writes     map[pageKey][]int
+	pages      []pageKey // deterministic iteration order
+}
+
+func indexTrace(ops []device.RecOp) *traceIndex {
+	t := &traceIndex{
+		ops:        ops,
+		metaHash:   make([]uint64, len(ops)+1),
+		syncBefore: make([]int, len(ops)+1),
+		writes:     make(map[pageKey][]int),
+	}
+	h := fnv.New64a()
+	last := -1
+	t.metaHash[0] = hashSum(h)
+	t.syncBefore[0] = -1
+	for i, op := range ops {
+		switch op.Kind {
+		case device.RecWrite:
+			k := pageKey{op.Rel, op.Page}
+			t.writes[k] = append(t.writes[k], i)
+		case device.RecSync:
+			last = i
+		default:
+			var b [10]byte
+			b[0] = byte(op.Kind)
+			putU32(b[1:], uint32(op.Rel))
+			putU32(b[5:], op.Page)
+			h.Write(b[:])
+		}
+		t.metaHash[i+1] = hashSum(h)
+		t.syncBefore[i+1] = last
+	}
+	for k := range t.writes {
+		t.pages = append(t.pages, k)
+	}
+	sort.Slice(t.pages, func(i, j int) bool {
+		if t.pages[i].rel != t.pages[j].rel {
+			return t.pages[i].rel < t.pages[j].rel
+		}
+		return t.pages[i].page < t.pages[j].page
+	})
+	return t
+}
+
+func hashSum(h interface{ Sum64() uint64 }) uint64 { return h.Sum64() }
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// mix folds one page's surviving content hash into a state signature,
+// order-independently (pages are disjoint, so XOR of well-mixed
+// per-page terms identifies the image).
+func mix(k pageKey, contentHash uint64) uint64 {
+	h := fnv.New64a()
+	var b [20]byte
+	putU32(b[0:], uint32(k.rel))
+	putU32(b[4:], k.page)
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(contentHash >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// signature computes a byte-content fingerprint of the disk image state
+// (crashIndex, choices) would materialise, without materialising it:
+// the metadata prefix hash XOR one mixed term per touched page carrying
+// the hash of its surviving content. Two states with equal signatures
+// are byte-identical images and need verifying only once.
+func (t *traceIndex) signature(crashIndex int, choice map[pageKey]int) uint64 {
+	sig := t.metaHash[crashIndex]
+	barrier := t.syncBefore[crashIndex]
+	for _, k := range t.pages {
+		idxs := t.writes[k]
+		// m: writes before the crash; b: writes at or before the barrier.
+		m := sort.SearchInts(idxs, crashIndex)
+		if m == 0 {
+			continue
+		}
+		b := sort.SearchInts(idxs, barrier+1)
+		winN := m - b
+		c := winN // default: all window writes landed
+		if cc, ok := choice[k]; ok {
+			if cc < 0 {
+				cc = 0
+			}
+			if cc > winN {
+				cc = winN
+			}
+			c = cc
+		}
+		var content uint64
+		switch {
+		case c > 0:
+			content = t.ops[idxs[b+c-1]].Hash
+		case b > 0:
+			content = t.ops[idxs[b-1]].Hash
+		default:
+			content = 0x9e3779b97f4a7c15 // page allocated but never written
+		}
+		sig ^= mix(k, content)
+	}
+	return sig
+}
+
+// Enumerate walks the crash-state space of a recorded trace and calls
+// visit once per distinct disk image, in four passes:
+//
+//  1. every pure prefix (crash at each index, all window writes landed),
+//  2. targeted torn states at each sync barrier and at trace end: for
+//     each page written in the open window, the state where only that
+//     page's writes landed and the state where every page but that one
+//     landed, plus the all-lost state — the adversarial states that
+//     catch missing-barrier bugs deterministically,
+//  3. seeded random samples across (crashIndex, per-page choices),
+//  4. optionally (Exhaustive) the full cartesian product per crash
+//     index.
+//
+// States are deduplicated by image signature, so the visitor sees each
+// distinct image once. Enumeration stops early when MaxStates distinct
+// states have been visited (reported via Capped) or when visit returns
+// ErrStop; any other visitor error aborts the walk and is returned.
+func Enumerate(ops []device.RecOp, o EnumOpts, visit func(State) error) (EnumStats, error) {
+	if o.Samples <= 0 {
+		o.Samples = 128
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = 4000
+	}
+	if o.Start < 0 {
+		o.Start = 0
+	}
+	t := indexTrace(ops)
+	stats := EnumStats{Ops: len(ops), CrashPoints: len(ops) - o.Start + 1}
+	seen := make(map[uint64]bool)
+
+	emit := func(crashIndex int, choice map[pageKey]int) error {
+		stats.Generated++
+		sig := t.signature(crashIndex, choice)
+		if seen[sig] {
+			stats.Deduped++
+			return nil
+		}
+		seen[sig] = true
+		if stats.Visited >= o.MaxStates {
+			stats.Capped = true
+			return errStopEnum
+		}
+		stats.Visited++
+		st := State{CrashIndex: crashIndex}
+		for _, k := range t.pages {
+			if c, ok := choice[k]; ok {
+				st.Choices = append(st.Choices, PageChoice{Rel: k.rel, Page: k.page, Choice: c})
+			}
+		}
+		return visit(st)
+	}
+
+	run := func() error {
+		// Pass 1: pure prefixes.
+		for i := o.Start; i <= len(ops); i++ {
+			if err := emit(i, nil); err != nil {
+				return err
+			}
+		}
+
+		// Pass 2: targeted torn states at barriers and at trace end.
+		var points []int
+		for i := o.Start; i < len(ops); i++ {
+			if ops[i].Kind == device.RecSync {
+				points = append(points, i)
+			}
+		}
+		points = append(points, len(ops))
+		for _, ci := range points {
+			_, win := windowAt(ops, ci)
+			if len(win) == 0 {
+				continue
+			}
+			keys := sortedKeys(win)
+			allLost := make(map[pageKey]int, len(keys))
+			for _, k := range keys {
+				allLost[k] = 0
+			}
+			if err := emit(ci, allLost); err != nil {
+				return err
+			}
+			for _, k := range keys {
+				only := make(map[pageKey]int, len(keys))
+				allBut := make(map[pageKey]int, 1)
+				for _, k2 := range keys {
+					if k2 == k {
+						only[k2] = len(win[k2])
+						allBut[k2] = 0
+					} else {
+						only[k2] = 0
+					}
+				}
+				if err := emit(ci, only); err != nil {
+					return err
+				}
+				if err := emit(ci, allBut); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Pass 3: seeded random samples.
+		rng := rand.New(rand.NewSource(o.Seed))
+		span := len(ops) - o.Start + 1
+		for n := 0; n < o.Samples && span > 0; n++ {
+			ci := o.Start + rng.Intn(span)
+			_, win := windowAt(ops, ci)
+			choice := make(map[pageKey]int, len(win))
+			for _, k := range sortedKeys(win) {
+				choice[k] = rng.Intn(len(win[k]) + 1)
+			}
+			if err := emit(ci, choice); err != nil {
+				return err
+			}
+		}
+
+		// Pass 4: exhaustive cartesian product.
+		if o.Exhaustive {
+			for ci := o.Start; ci <= len(ops); ci++ {
+				_, win := windowAt(ops, ci)
+				keys := sortedKeys(win)
+				if len(keys) == 0 {
+					continue
+				}
+				vec := make([]int, len(keys))
+				for {
+					choice := make(map[pageKey]int, len(keys))
+					for i, k := range keys {
+						choice[k] = vec[i]
+					}
+					if err := emit(ci, choice); err != nil {
+						return err
+					}
+					// Odometer increment over per-page choice ranges.
+					p := 0
+					for p < len(vec) {
+						vec[p]++
+						if vec[p] <= len(win[keys[p]]) {
+							break
+						}
+						vec[p] = 0
+						p++
+					}
+					if p == len(vec) {
+						break
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	err := run()
+	if errors.Is(err, errStopEnum) {
+		err = nil
+	}
+	return stats, err
+}
+
+func sortedKeys(win map[pageKey][]int) []pageKey {
+	keys := make([]pageKey, 0, len(win))
+	for k := range win {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rel != keys[j].rel {
+			return keys[i].rel < keys[j].rel
+		}
+		return keys[i].page < keys[j].page
+	})
+	return keys
+}

@@ -1,0 +1,211 @@
+package torture
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// BreakMode deliberately sabotages the commit pipeline's data force.
+// The harness must detect both modes — they are the self-test proving
+// a broken durability path cannot slip past enumeration.
+type BreakMode string
+
+const (
+	// BreakNone leaves the pipeline intact.
+	BreakNone BreakMode = ""
+	// BreakNoFlush replaces ForceData with a no-op: commits ack without
+	// data pages ever reaching the device. Even the pure end-of-trace
+	// prefix then loses acked data — detected deterministically.
+	BreakNoFlush BreakMode = "noflush"
+	// BreakNoSync keeps the flush but drops the data sync barrier. The
+	// data writes stay in the open window all the way to the log force,
+	// so enumeration reaches states where the commit record landed but
+	// a data page did not — a torn commit the intact pipeline's barrier
+	// makes unconstructible.
+	BreakNoSync BreakMode = "nosync"
+)
+
+// RunConfig configures one harness run.
+type RunConfig struct {
+	// Workload names one of Workloads(). Required.
+	Workload string
+	// Seed drives workload content and the sampling pass.
+	Seed int64
+	// Exhaustive walks the full per-window cartesian product (use with
+	// the "mini" workload; capped by MaxStates otherwise).
+	Exhaustive bool
+	// Samples and MaxStates are passed to Enumerate (defaults apply).
+	Samples   int
+	MaxStates int
+	// Break sabotages the force path for detection self-tests.
+	Break BreakMode
+	// MaxViolations stops enumeration after this many failing states
+	// (default 3): each one writes a repro bundle.
+	MaxViolations int
+	// OutDir receives repro bundles (default: $TORTURE_OUT, then the
+	// system temp dir).
+	OutDir string
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Violation is one crash state that failed verification.
+type Violation struct {
+	State State
+	Err   error
+}
+
+// Result reports one harness run.
+type Result struct {
+	Workload   string
+	Seed       int64
+	TraceOps   int
+	Start      int
+	Stats      EnumStats
+	Violations []Violation
+	Bundles    []string
+}
+
+// Run records one workload over a fresh in-memory database, then
+// enumerates the crash states of the recorded trace and verifies every
+// one. Failing states are serialised as self-contained repro bundles.
+func Run(cfg RunConfig) (*Result, error) {
+	wl, err := WorkloadByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 3
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rec := device.NewRecorder(device.NewMem(nil, 0))
+	sw := device.NewSwitch()
+	sw.Register(rec)
+	db, err := core.Open(sw, wl.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("torture: opening workload db: %w", err)
+	}
+	rec.SetObs(db.Obs())
+
+	switch cfg.Break {
+	case BreakNone:
+	case BreakNoFlush:
+		db.Manager().ForceData = func() error { return nil }
+	case BreakNoSync:
+		pool := db.Pool()
+		db.Manager().ForceData = pool.FlushAll
+	default:
+		db.Crash()
+		return nil, fmt.Errorf("torture: unknown break mode %q", cfg.Break)
+	}
+
+	// Start barrier: quiesce bootstrap and mark the first legal crash
+	// index. States before it (mkfs in progress) are out of scope.
+	if err := db.Pool().FlushAll(); err != nil {
+		db.Crash()
+		return nil, err
+	}
+	if err := sw.Sync(); err != nil {
+		db.Crash()
+		return nil, err
+	}
+	start := rec.Len()
+
+	exps, derr := wl.Drive(db, rec, cfg.Seed)
+	db.Crash()
+	if derr != nil {
+		return nil, fmt.Errorf("torture: workload %s: %w", wl.Name, derr)
+	}
+	ops := rec.Trace()
+	logf("torture: %s: recorded %d ops (%d in scope), %d expected files",
+		wl.Name, len(ops), len(ops)-start, len(exps))
+
+	res := &Result{Workload: wl.Name, Seed: cfg.Seed, TraceOps: len(ops), Start: start}
+	dir := bundleDir(cfg.OutDir)
+	stats, err := Enumerate(ops, EnumOpts{
+		Start:      start,
+		Exhaustive: cfg.Exhaustive,
+		Seed:       cfg.Seed,
+		Samples:    cfg.Samples,
+		MaxStates:  cfg.MaxStates,
+	}, func(st State) error {
+		verr := VerifyState(ops, st, exps)
+		if verr == nil {
+			return nil
+		}
+		res.Violations = append(res.Violations, Violation{State: st, Err: verr})
+		b := &Bundle{
+			Workload: wl.Name,
+			Seed:     cfg.Seed,
+			Note:     verr.Error(),
+			Ops:      ops,
+			State:    st,
+			Exps:     exps,
+		}
+		path := bundlePath(dir, wl.Name, cfg.Seed, st, len(res.Violations))
+		if werr := WriteBundle(path, b); werr != nil {
+			logf("torture: writing repro bundle: %v", werr)
+		} else {
+			res.Bundles = append(res.Bundles, path)
+			logf("torture: VIOLATION %s: %v (repro: %s)", st, verr, path)
+		}
+		if len(res.Violations) >= cfg.MaxViolations {
+			return ErrStop
+		}
+		return nil
+	})
+	res.Stats = stats
+	if err != nil {
+		return res, err
+	}
+	logf("torture: %s: %d crash points, %d states generated, %d verified, %d deduped, capped=%v, %d violations",
+		wl.Name, stats.CrashPoints, stats.Generated, stats.Visited, stats.Deduped,
+		stats.Capped, len(res.Violations))
+	return res, nil
+}
+
+// RecordTrace runs just the record phase of a workload: it returns the
+// recorded ops, the workload-start barrier index, and the expected
+// outcomes, for callers (crash-during-recovery tests, custom
+// enumerations) that drive verification themselves.
+func RecordTrace(workload string, seed int64, brk BreakMode) (ops []device.RecOp, start int, exps []FileExpect, err error) {
+	wl, err := WorkloadByName(workload)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	rec := device.NewRecorder(device.NewMem(nil, 0))
+	sw := device.NewSwitch()
+	sw.Register(rec)
+	db, err := core.Open(sw, wl.Opts)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	switch brk {
+	case BreakNoFlush:
+		db.Manager().ForceData = func() error { return nil }
+	case BreakNoSync:
+		pool := db.Pool()
+		db.Manager().ForceData = pool.FlushAll
+	}
+	if err := db.Pool().FlushAll(); err != nil {
+		db.Crash()
+		return nil, 0, nil, err
+	}
+	if err := sw.Sync(); err != nil {
+		db.Crash()
+		return nil, 0, nil, err
+	}
+	start = rec.Len()
+	exps, derr := wl.Drive(db, rec, seed)
+	db.Crash()
+	if derr != nil {
+		return nil, 0, nil, derr
+	}
+	return rec.Trace(), start, exps, nil
+}

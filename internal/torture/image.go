@@ -1,0 +1,198 @@
+package torture
+
+import (
+	"sync"
+
+	"repro/internal/device"
+)
+
+// Image is the fresh backing store a crash state is materialised onto.
+// It is a plain page map like device.Mem, with two replay-specific
+// differences: Create is idempotent against pages that already exist
+// (core.Open re-places the fixed relations on every recovery), and
+// pages can be force-grown when a lost Extend would otherwise strand a
+// recorded write. Class is "mem" so core.Open's log-device preference
+// treats an Image exactly like the device the trace was recorded from.
+type Image struct {
+	mu   sync.Mutex
+	rels map[device.OID][][]byte
+}
+
+// NewImage returns an empty image.
+func NewImage() *Image {
+	return &Image{rels: make(map[device.OID][][]byte)}
+}
+
+// Class reports "mem": replay must look like the recorded device.
+func (im *Image) Class() string { return "mem" }
+
+// Create registers a relation; re-creating an existing one keeps its
+// pages (recovery calls Create on relations that already exist).
+func (im *Image) Create(rel device.OID) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if _, ok := im.rels[rel]; !ok {
+		im.rels[rel] = nil
+	}
+	return nil
+}
+
+// Drop removes a relation.
+func (im *Image) Drop(rel device.OID) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if _, ok := im.rels[rel]; !ok {
+		return device.ErrNoRelation
+	}
+	delete(im.rels, rel)
+	return nil
+}
+
+// NPages reports the relation's page count.
+func (im *Image) NPages(rel device.OID) (uint32, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pages, ok := im.rels[rel]
+	if !ok {
+		return 0, device.ErrNoRelation
+	}
+	return uint32(len(pages)), nil
+}
+
+// Extend appends a zeroed page.
+func (im *Image) Extend(rel device.OID) (uint32, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pages, ok := im.rels[rel]
+	if !ok {
+		return 0, device.ErrNoRelation
+	}
+	im.rels[rel] = append(pages, make([]byte, device.PageSize))
+	return uint32(len(pages)), nil
+}
+
+// ReadPage copies a page into buf.
+func (im *Image) ReadPage(rel device.OID, page uint32, buf []byte) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pages, ok := im.rels[rel]
+	if !ok {
+		return device.ErrNoRelation
+	}
+	if int(page) >= len(pages) {
+		return device.ErrNoPage
+	}
+	copy(buf, pages[page])
+	return nil
+}
+
+// WritePage stores buf into a page.
+func (im *Image) WritePage(rel device.OID, page uint32, buf []byte) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pages, ok := im.rels[rel]
+	if !ok {
+		return device.ErrNoRelation
+	}
+	if int(page) >= len(pages) {
+		return device.ErrNoPage
+	}
+	copy(pages[page], buf)
+	return nil
+}
+
+// Sync is a no-op: the image is the stable state by construction.
+func (im *Image) Sync() error { return nil }
+
+var _ device.Manager = (*Image)(nil)
+
+// grow ensures the relation exists and has at least page+1 pages, so a
+// recorded write always has somewhere to land during materialisation.
+func (im *Image) grow(rel device.OID, page uint32) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	pages := im.rels[rel]
+	for uint32(len(pages)) <= page {
+		pages = append(pages, make([]byte, device.PageSize))
+	}
+	im.rels[rel] = pages
+}
+
+// apply lands one recorded write on the image unconditionally.
+func (im *Image) apply(op device.RecOp) {
+	im.grow(op.Rel, op.Page)
+	im.mu.Lock()
+	copy(im.rels[op.Rel][op.Page], op.Data)
+	im.mu.Unlock()
+}
+
+// pageKey identifies one page of one relation.
+type pageKey struct {
+	rel  device.OID
+	page uint32
+}
+
+// windowAt computes the open write window at a crash index: the index
+// of the last completed sync barrier before it (-1 if none) and, for
+// each page, the in-order trace indices of the writes issued to it
+// after that barrier. Writes at or before the barrier are durable;
+// writes in the window are subject to per-page choice.
+func windowAt(ops []device.RecOp, crashIndex int) (lastSync int, win map[pageKey][]int) {
+	lastSync = -1
+	for i := 0; i < crashIndex && i < len(ops); i++ {
+		if ops[i].Kind == device.RecSync {
+			lastSync = i
+		}
+	}
+	win = make(map[pageKey][]int)
+	for i := lastSync + 1; i < crashIndex && i < len(ops); i++ {
+		if ops[i].Kind == device.RecWrite {
+			k := pageKey{ops[i].Rel, ops[i].Page}
+			win[k] = append(win[k], i)
+		}
+	}
+	return lastSync, win
+}
+
+// Materialize constructs the disk image a crash in state st would have
+// left behind: metadata ops and pre-barrier writes from ops[0:CrashIndex]
+// are applied in issue order; window writes land according to the
+// per-page choices (default: all landed, i.e. the pure prefix).
+func Materialize(ops []device.RecOp, st State) *Image {
+	img := NewImage()
+	ci := st.CrashIndex
+	if ci > len(ops) {
+		ci = len(ops)
+	}
+	lastSync, win := windowAt(ops, ci)
+	choice := make(map[pageKey]int, len(st.Choices))
+	for _, c := range st.Choices {
+		choice[pageKey{c.Rel, c.Page}] = c.Choice
+	}
+	for i := 0; i < ci; i++ {
+		op := ops[i]
+		switch op.Kind {
+		case device.RecCreate:
+			img.Create(op.Rel)
+		case device.RecDrop:
+			img.Drop(op.Rel)
+		case device.RecExtend:
+			// Extends are metadata: applied deterministically in order.
+			img.grow(op.Rel, op.Page)
+		case device.RecWrite:
+			if i <= lastSync {
+				img.apply(op)
+			}
+		}
+	}
+	for k, idxs := range win {
+		c, ok := choice[k]
+		if !ok || c > len(idxs) {
+			c = len(idxs)
+		}
+		if c > 0 {
+			img.apply(ops[idxs[c-1]])
+		}
+	}
+	return img
+}

@@ -53,6 +53,7 @@ type Log struct {
 
 	lazyLoads int64 // pages faulted in below the checkpoint (tests/metrics)
 	forces    int64 // successful full forces
+	repairs   int64 // zero-commit-time commits converted to aborts at open
 }
 
 const logMagic = 0x1993_0426_494e_5646 // "INVF", April 1993
@@ -126,7 +127,93 @@ func OpenLog(dev device.Manager) (*Log, error) {
 			return nil, err
 		}
 	}
+	if err := l.repairZeroTimes(); err != nil {
+		return nil, err
+	}
 	return l, nil
+}
+
+// repairZeroTimes converts committed transactions with no commit time
+// to aborted. The force path writes status pages before time pages and
+// only then syncs, so a crash inside the unsynced window can leave a
+// commit record durable while its commit time is not. Such a
+// transaction was never acknowledged — Commit returns only after the
+// sync — so aborting it is always safe, and leaving it committed would
+// corrupt time travel: with CommitTime 0, the historical visibility
+// check `CommitTime(x) <= asOf` holds for every instant, making the
+// transaction's files visible at times before they were created.
+//
+// The scan covers [checkpoint, reserved): every XID below the
+// checkpoint has its durably-final status (with its time forced by the
+// same successful sync), and no XID at or above reserved was ever
+// handed out. The pages involved are exactly the eagerly loaded window.
+// The repair is idempotent — it only moves committed→aborted on a state
+// recovery would otherwise misread — so a second crash during the
+// repair force just repeats it.
+func (l *Log) repairZeroTimes() error {
+	lo := l.ckpt
+	if lo <= BootstrapXID {
+		lo = BootstrapXID + 1 // bootstrap always commits with time 1
+	}
+	for x := lo; x < l.reserved; x++ {
+		pi, off, shift := statusLoc(x)
+		if pi >= len(l.status) || l.status[pi] == nil {
+			continue
+		}
+		if Status((l.status[pi][off]>>shift)&3) != StatusCommitted {
+			continue
+		}
+		ti, toff := timeLoc(x)
+		if ti < len(l.times) && l.times[ti] != nil &&
+			binary.LittleEndian.Uint64(l.times[ti][toff:]) != 0 {
+			continue
+		}
+		l.setStatus(x, StatusAborted)
+		l.repairs++
+	}
+	if l.repairs > 0 {
+		return l.Force()
+	}
+	return nil
+}
+
+// ZeroTimeRepairs reports how many committed-without-commit-time
+// transactions this log converted to aborted when it was opened.
+func (l *Log) ZeroTimeRepairs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.repairs
+}
+
+// CheckZeroTimes reports any committed transaction in the recovery
+// window that has no commit time — the torn-force state repairZeroTimes
+// exists to heal. On a healthy (or freshly recovered) log it returns
+// nothing; the scrubber calls it so operators can detect the state on a
+// live database too.
+func (l *Log) CheckZeroTimes() []XID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var bad []XID
+	lo := l.ckpt
+	if lo <= BootstrapXID {
+		lo = BootstrapXID + 1
+	}
+	for x := lo; x < l.reserved; x++ {
+		pi, off, shift := statusLoc(x)
+		if pi >= len(l.status) || l.status[pi] == nil {
+			continue
+		}
+		if Status((l.status[pi][off]>>shift)&3) != StatusCommitted {
+			continue
+		}
+		ti, toff := timeLoc(x)
+		if ti < len(l.times) && l.times[ti] != nil &&
+			binary.LittleEndian.Uint64(l.times[ti][toff:]) != 0 {
+			continue
+		}
+		bad = append(bad, x)
+	}
+	return bad
 }
 
 // readPage fills one cache slot from the device (no-op if loaded).

@@ -226,7 +226,7 @@ func (c *Client) retryable(op byte) bool {
 		return true
 	}
 	switch op {
-	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2:
+	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2, OpScrub:
 		return true
 	}
 	return false
@@ -314,7 +314,7 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			c.txLost = false
 			return nil, nil
 		}
-	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2:
+	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2, OpScrub:
 		// Idempotent reads; safe whether or not the transaction is lost.
 	default:
 		if c.txLost {
@@ -652,4 +652,50 @@ func (c *Client) Vacuum() (relations, scanned, archived, removed int, err error)
 	}
 	r := rowenc.NewReader(resp)
 	return int(r.Uint32()), int(r.Uint32()), int(r.Uint32()), int(r.Uint32()), r.Err()
+}
+
+// ScrubResult is the wire form of the server's full integrity pass
+// (core.ScrubReport): check counts plus human-readable descriptions of
+// every media fault and structural problem found.
+type ScrubResult struct {
+	Relations    int
+	PagesChecked int
+	Indexes      int
+	Files        int
+	Chunks       int
+	Corrupt      []string
+	Problems     []string
+}
+
+// OK reports whether the database verified clean.
+func (s ScrubResult) OK() bool { return len(s.Corrupt) == 0 && len(s.Problems) == 0 }
+
+// Summary renders the result in one line.
+func (s ScrubResult) Summary() string {
+	return fmt.Sprintf("scrub: %d pages, %d indexes, %d files, %d chunks checked; %d media faults, %d problems",
+		s.PagesChecked, s.Indexes, s.Files, s.Chunks, len(s.Corrupt), len(s.Problems))
+}
+
+// Scrub runs the server's full integrity pass: the media scrub plus
+// structural B-tree, namespace, chunk, and transaction-log checks.
+func (c *Client) Scrub() (ScrubResult, error) {
+	resp, err := c.call(OpScrub, nil)
+	if err != nil {
+		return ScrubResult{}, err
+	}
+	r := rowenc.NewReader(resp)
+	res := ScrubResult{
+		Relations:    int(r.Uint32()),
+		PagesChecked: int(r.Uint32()),
+		Indexes:      int(r.Uint32()),
+		Files:        int(r.Uint32()),
+		Chunks:       int(r.Uint32()),
+	}
+	for n := r.Uint32(); n > 0; n-- {
+		res.Corrupt = append(res.Corrupt, r.String())
+	}
+	for n := r.Uint32(); n > 0; n-- {
+		res.Problems = append(res.Problems, r.String())
+	}
+	return res, r.Err()
 }

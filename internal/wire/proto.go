@@ -43,6 +43,7 @@ const (
 	OpStats
 	OpSetType
 	OpStatsV2
+	OpScrub
 )
 
 // opNames labels opcodes for metrics and traces. Indexed by opcode.
@@ -54,7 +55,7 @@ var opNames = [...]string{
 	OpRename: "rename", OpReadDir: "readdir", OpStat: "stat",
 	OpQuery: "query", OpCall: "call", OpDefineType: "deftype",
 	OpMigrate: "migrate", OpVacuum: "vacuum", OpStats: "stats",
-	OpSetType: "settype", OpStatsV2: "statsv2",
+	OpSetType: "settype", OpStatsV2: "statsv2", OpScrub: "scrub",
 }
 
 // OpName reports the metric label for an opcode ("op<N>" if unknown).

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The scrub wire op: a clean database reports a clean result with
+// non-trivial check counts, and the counts reflect the files written.
+func TestRemoteScrub(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr, "operator")
+
+	for _, p := range []string{"/a", "/b"} {
+		fd, err := c.PCreat(p, core.CreateOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.PWrite(fd, []byte(strings.Repeat(p, 50))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PClose(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("fresh database scrub not clean: corrupt=%v problems=%v", res.Corrupt, res.Problems)
+	}
+	if res.Files < 2 {
+		t.Fatalf("scrub saw %d files, want ≥ 2", res.Files)
+	}
+	if res.Chunks < 2 || res.PagesChecked == 0 || res.Indexes == 0 {
+		t.Fatalf("implausible scrub counts: %+v", res)
+	}
+	if !strings.Contains(res.Summary(), "0 problems") {
+		t.Fatalf("summary: %s", res.Summary())
+	}
+}
+
+// Scrub is a read-only operator op: it must be retryable outside a
+// transaction like the other introspection calls.
+func TestScrubRetryable(t *testing.T) {
+	c := &Client{}
+	if !c.retryable(OpScrub) {
+		t.Fatal("OpScrub not retryable outside a transaction")
+	}
+}

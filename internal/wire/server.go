@@ -126,7 +126,7 @@ func NewServerWith(db *core.DB, cfg ServerConfig) *Server {
 		ring:  obs.NewTraceRing(cfg.TraceRingSize),
 	}
 	reg := db.Obs()
-	for op := OpBegin; op <= OpStatsV2; op++ {
+	for op := OpBegin; op <= OpScrub; op++ {
 		s.opNs[op] = reg.Histogram("wire.op." + OpName(op) + "_ns")
 	}
 	s.devSimNs = reg.Histogram("device.sim_ns")
@@ -788,6 +788,28 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 		// are refreshed so the snapshot is current.
 		s.db.RefreshObsGauges()
 		return obs.EncodeSnapshot(s.db.Obs().Snapshot()), nil
+	case OpScrub:
+		// The full integrity pass (media, B-trees, namespace, chunks,
+		// txn log), exposed as an operator command.
+		rep, err := s.db.Scrub()
+		if err != nil {
+			return nil, err
+		}
+		w := rowenc.NewWriter(256).
+			Uint32(uint32(rep.Media.Relations)).
+			Uint32(uint32(rep.Media.PagesChecked)).
+			Uint32(uint32(rep.IndexesChecked)).
+			Uint32(uint32(rep.FilesChecked)).
+			Uint32(uint32(rep.ChunksChecked)).
+			Uint32(uint32(len(rep.Media.Corrupt)))
+		for _, c := range rep.Media.Corrupt {
+			w.String(c.String())
+		}
+		w.Uint32(uint32(len(rep.Problems)))
+		for _, p := range rep.Problems {
+			w.String(p)
+		}
+		return w.Done(), nil
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", op)
 	}

@@ -84,6 +84,10 @@ type (
 	TypeValidator = core.TypeValidator
 	// MediaReport summarises a CheckMedia scrub pass.
 	MediaReport = core.MediaReport
+	// ScrubReport is the result of DB.Scrub, the full integrity pass:
+	// media, B-tree structure, namespace cross-links, chunk records,
+	// and the transaction log.
+	ScrubReport = core.ScrubReport
 )
 
 // Device layer types.
