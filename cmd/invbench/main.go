@@ -14,6 +14,7 @@
 //	invbench -local          # Inversion vs local FFS, no network
 //	invbench -ablate         # cache size, coalescing, compression, jukebox
 //	invbench -scale          # concurrent-scaling curve (wall clock)
+//	invbench -meta           # metadata storm: sharded namespace, N=1 vs N=8
 //	invbench -size 25        # created-file size in MB (default 25)
 package main
 
@@ -36,15 +37,16 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "run ablations")
 		scale    = flag.Bool("scale", false, "concurrent-scaling curve (wall clock)")
 		commit   = flag.Bool("commit", false, "write-heavy commit-throughput scaling (group commit, wall clock)")
+		meta     = flag.Bool("meta", false, "metadata-storm scaling: partitioned namespace, N=1 vs N=8 shards (wall clock)")
 		all      = flag.Bool("all", false, "run everything")
 		sizeMB   = flag.Int64("size", 25, "created file size in MB")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
-	if !*table3 && !*local && !*ablate && !*scale && !*commit && !*all && *fig == 0 {
+	if !*table3 && !*local && !*ablate && !*scale && !*commit && !*meta && !*all && *fig == 0 {
 		*all = true
 	}
-	if err := run(*fig, *table3, *local, *ablate, *scale, *commit, *all, *sizeMB, *jsonPath); err != nil {
+	if err := run(*fig, *table3, *local, *ablate, *scale, *commit, *meta, *all, *sizeMB, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "invbench:", err)
 		os.Exit(1)
 	}
@@ -61,7 +63,7 @@ type jsonReport struct {
 	Scaling       map[string][]bench.ScalingPoint `json:"scaling,omitempty"`
 }
 
-func run(fig int, table3, local, ablate, scale, commit, all bool, sizeMB int64, jsonPath string) error {
+func run(fig int, table3, local, ablate, scale, commit, meta, all bool, sizeMB int64, jsonPath string) error {
 	var jr jsonReport
 	p := bench.DefaultParams()
 	fileSize := sizeMB << 20
@@ -149,6 +151,18 @@ func run(fig int, table3, local, ablate, scale, commit, all bool, sizeMB int64, 
 		}
 		jr.Scaling[bench.WorkloadWrite] = pts
 	}
+	if all || meta {
+		pts, err := printMetaScaling()
+		if err != nil {
+			return err
+		}
+		if jr.Scaling == nil {
+			jr.Scaling = make(map[string][]bench.ScalingPoint)
+		}
+		for _, pt := range pts {
+			jr.Scaling[pt.Workload] = []bench.ScalingPoint{pt}
+		}
+	}
 	if jsonPath != "" {
 		b, err := json.MarshalIndent(&jr, "", "  ")
 		if err != nil {
@@ -222,6 +236,38 @@ func printCommitScaling() ([]bench.ScalingPoint, error) {
 		fmt.Printf("    g=%d  %8.0f commits/s  speedup %4.2fx   "+
 			"%d batches, mean batch %.2f, %d forces saved\n",
 			pt.Goroutines, pt.OpsPerSec, pt.Speedup, batches, meanBatch, saved)
+	}
+	fmt.Println()
+	return pts, nil
+}
+
+// printMetaScaling runs the metadata-storm benchmark: the same
+// create/stat/rename stream from four concurrent clients, once on an
+// unpartitioned namespace (N=1) and once hash-partitioned eight ways
+// (N=8), over the same eight simulated metadata spindles. With one
+// global naming relation every client's page loads queue on one
+// spindle; with eight shards bound to eight spindles they overlap. The
+// last point's speedup is the headline N=8-over-N=1 ratio, and the
+// per-shard routing counters show the hash actually spread the traffic.
+func printMetaScaling() ([]bench.ScalingPoint, error) {
+	fmt.Println("Metadata storm (wall clock; 4 clients, per-spindle shard placement):")
+	pts, err := bench.RunMetaScaling(4, 384, []int{1, 8})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		st := pt.Stats
+		fmt.Printf("    %-8s g=%d  %8.0f ops/s  speedup %4.2fx   "+
+			"cache %d/%d h/m, %d load-waits; %d lock waits\n",
+			pt.Workload, pt.Goroutines, pt.OpsPerSec, pt.Speedup,
+			st.CacheHits, st.CacheMisses, st.CacheLoadWaits, st.LockWaits)
+	}
+	last := pts[len(pts)-1]
+	fmt.Printf("  per-shard routing (%s):\n", last.Workload)
+	for _, s := range last.Namespace {
+		fmt.Printf("    shard %2d  %6d lookups  %6d inserts  %5d removes  "+
+			"%4d renames (%d cross-shard)  %d lock waits\n",
+			s.Shard, s.Lookups, s.Inserts, s.Removes, s.Renames, s.CrossRenames, s.LockWaits)
 	}
 	fmt.Println()
 	return pts, nil

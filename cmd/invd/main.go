@@ -51,6 +51,10 @@ func main() {
 			"how long a group-commit leader holds the log force open for other committers to join its batch (0 forces immediately; try 2ms on sync-bound devices)")
 		scrubOnStart = flag.Bool("scrub-on-start", false,
 			"run the full integrity scrub (media, B-trees, namespace, chunks, txn log) after opening the database and refuse to serve if it is not clean")
+		shards = flag.Int("shards", 0,
+			"namespace shard count for a fresh volume: naming/fileatt metadata is hash-partitioned by parent directory across this many relation sets (0 = unpartitioned legacy layout; fixed at bootstrap — reopening an existing volume with a different non-zero count is refused)")
+		shardClasses = flag.String("shard-classes", "",
+			"comma-separated device classes to round-robin the namespace shards across (shard i lands on class i mod len; empty = default class for every shard)")
 	)
 	flag.Parse()
 	opts := inversion.Options{
@@ -58,6 +62,12 @@ func main() {
 		BackgroundWriter:  *bgWriter,
 		CheckpointEvery:   *ckptEvery,
 		GroupCommitWindow: *commitWindow,
+		NamespaceShards:   *shards,
+	}
+	if *shardClasses != "" {
+		for _, c := range strings.Split(*shardClasses, ",") {
+			opts.ShardClasses = append(opts.ShardClasses, strings.TrimSpace(c))
+		}
 	}
 	if err := run(*addr, opts, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp, *scrubOnStart); err != nil {
 		fmt.Fprintln(os.Stderr, "invd:", err)

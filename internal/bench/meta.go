@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/txn"
+)
+
+// Metadata-storm workload: pure namespace traffic (create/stat/rename,
+// no file data) against a partitioned metadata layer. The hardware
+// model is a box with metaSpindles simulated disks, each a single
+// request queue (a spindle serves one page at a time — concurrent
+// requests to the same disk serialize behind its arm). A relation
+// necessarily lives on exactly one device, so with one global naming
+// relation every client's metadata I/O funnels through one queue no
+// matter how many clients run. Hash-partitioned shards are what break
+// that: shard i is bound to spindle i (Options.ShardClasses), so
+// concurrent clients' page loads land on different queues and overlap.
+// Both shard counts run on the identical simulated hardware — N=1
+// simply cannot use more than one of the disks for its namespace.
+const (
+	metaSpindles = 8                      // simulated metadata disks, both configs
+	metaReadLat  = 4 * time.Millisecond   // per page read, timed region only
+	metaWriteLat = 20 * time.Microsecond  // per page write, timed region only
+	metaBuffers  = 192                    // deliberately ≪ the metadata working set
+	metaTxBatch  = 64                     // ops per explicit transaction
+
+	metaDirsPerG      = 8    // private directories per client
+	metaEntriesPerDir = 4096 // prepopulated entries per directory
+	metaRenameReserve = 32   // entries per dir reserved as rename sources
+)
+
+// metaDisk simulates one metadata spindle: an in-memory page store
+// behind a single request queue with per-page service times. The
+// latency gate is off during prepopulation (building the namespace runs
+// at memory speed) and on in the timed region. Reads cost a seek;
+// writes model a queued controller and cost little — the measurement
+// targets the page loads the namespace working set misses on, not the
+// commit-time flush (which both shard counts pay identically).
+type metaDisk struct {
+	*device.Mem
+	class string
+	gate  *atomic.Bool
+	arm   sync.Mutex // one request at a time, like a disk arm
+}
+
+func (m *metaDisk) Class() string { return m.class }
+
+func (m *metaDisk) ReadPage(rel device.OID, page uint32, buf []byte) error {
+	if m.gate.Load() {
+		m.arm.Lock()
+		time.Sleep(metaReadLat)
+		m.arm.Unlock()
+	}
+	return m.Mem.ReadPage(rel, page, buf)
+}
+
+func (m *metaDisk) WritePage(rel device.OID, page uint32, buf []byte) error {
+	if m.gate.Load() {
+		m.arm.Lock()
+		time.Sleep(metaWriteLat)
+		m.arm.Unlock()
+	}
+	return m.Mem.WritePage(rel, page, buf)
+}
+
+// MetaOptions sizes one metadata-storm measurement.
+type MetaOptions struct {
+	Shards        int // namespace shard count for this point
+	Goroutines    int // concurrent clients
+	OpsPerG       int // timed metadata ops per client
+	DirsPerG      int // private directories per client (0 = default)
+	EntriesPerDir int // prepopulated entries per directory (0 = default)
+}
+
+func (o *MetaOptions) fill() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Goroutines <= 0 {
+		o.Goroutines = 4
+	}
+	if o.OpsPerG <= 0 {
+		o.OpsPerG = 384
+	}
+	if o.DirsPerG <= 0 {
+		o.DirsPerG = metaDirsPerG
+	}
+	if o.EntriesPerDir <= 0 {
+		o.EntriesPerDir = metaEntriesPerDir
+	}
+	// The first metaRenameReserve entries per directory are rename
+	// sources; lookups stride over the rest, so there must be a rest.
+	if o.EntriesPerDir <= metaRenameReserve {
+		o.EntriesPerDir = 2 * metaRenameReserve
+	}
+}
+
+// metaDirPath keeps client directories directly under the root: the
+// measured ops are two-component paths, so per-op CPU (which a single
+// core serializes regardless of sharding) stays small next to the
+// device sleeps the shards exist to overlap.
+func metaDirPath(g, d int) string { return fmt.Sprintf("/m%d_%d", g, d) }
+
+// metaEntryName is globally unique across a client's directories so a
+// rename into any sibling directory can never collide.
+func metaEntryName(d, k int) string { return fmt.Sprintf("e%d_%d", d, k) }
+
+// newMetaDB builds the prepopulated namespace with the device gate off:
+// every client gets DirsPerG private directories of EntriesPerDir
+// entries each (entries are directories too — a mkdir is the pure
+// metadata create, touching only naming/fileatt and their indexes).
+func newMetaDB(o MetaOptions) (*core.DB, *atomic.Bool, error) {
+	gate := new(atomic.Bool)
+	sw := device.NewSwitch()
+	// The system device (catalog, archive, log) is plain memory: its
+	// traffic is identical at every shard count and would only add noise.
+	sw.Register(device.NewMem(nil, 0))
+	// The same metaSpindles disks are registered for every shard count;
+	// shard i lands on spindle i%metaSpindles, so N=1 concentrates the
+	// whole namespace on spindle 0 while N=8 uses all eight.
+	classes := make([]string, o.Shards)
+	for i := range classes {
+		classes[i] = fmt.Sprintf("spindle%d", i%metaSpindles)
+	}
+	for i := 0; i < metaSpindles; i++ {
+		sw.Register(&metaDisk{Mem: device.NewMem(nil, 0), class: fmt.Sprintf("spindle%d", i), gate: gate})
+	}
+	db, err := core.Open(sw, core.Options{
+		Buffers:           metaBuffers,
+		NamespaceShards:   o.Shards,
+		ShardClasses:      classes,
+		GroupCommitWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	s := db.NewSession("bench")
+	for g := 0; g < o.Goroutines; g++ {
+		for d := 0; d < o.DirsPerG; d++ {
+			if err := s.Mkdir(metaDirPath(g, d)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// Entries in explicit transactions so prepopulation is not one
+	// commit force per mkdir.
+	for g := 0; g < o.Goroutines; g++ {
+		for d := 0; d < o.DirsPerG; d++ {
+			for k := 0; k < o.EntriesPerDir; {
+				if err := s.Begin(); err != nil {
+					return nil, nil, err
+				}
+				for j := 0; j < 256 && k < o.EntriesPerDir; j++ {
+					if err := s.Mkdir(metaDirPath(g, d) + "/" + metaEntryName(d, k)); err != nil {
+						return nil, nil, err
+					}
+					k++
+				}
+				if err := s.Commit(); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return db, gate, nil
+}
+
+// metaWorker runs one client's op stream: 50% creates, 37.5% stats,
+// 12.5% renames (directory-crossing, so at N>1 they regularly cross
+// shards) — in explicit transactions of metaTxBatch ops, retrying a
+// batch that loses a deadlock. No listings: a ReadDir walks one
+// directory, which lives wholly in one shard either way, so it would
+// only dilute the create/lookup contrast the shards exist to expose.
+func metaWorker(db *core.DB, o MetaOptions, g int) error {
+	s := db.NewSession(fmt.Sprintf("meta-%d", g))
+	renames := 0
+	op := func(i int) error {
+		switch {
+		case i%8 == 5:
+			// Move a reserved prepopulated entry to the next directory
+			// over. Each source is used once; the name stays unique.
+			j := renames
+			renames++
+			d := j % o.DirsPerG
+			k := (j / o.DirsPerG) % metaRenameReserve
+			name := metaEntryName(d, k)
+			dst := (d + 1) % o.DirsPerG
+			return s.Rename(metaDirPath(g, d)+"/"+name,
+				metaDirPath(g, dst)+"/"+name+"x")
+		case i%4 != 3:
+			return s.Mkdir(metaDirPath(g, (i*5)%o.DirsPerG) + fmt.Sprintf("/c%d", i))
+		default:
+			// Stride the key so lookups cover the whole directory instead
+			// of a cached prefix: the point is a random probe that has to
+			// load a leaf and a heap page, not a warm re-read.
+			d := (i * 7) % o.DirsPerG
+			k := metaRenameReserve + (i*131)%(o.EntriesPerDir-metaRenameReserve)
+			_, err := s.Stat(metaDirPath(g, d) + "/" + metaEntryName(d, k))
+			return err
+		}
+	}
+	for done := 0; done < o.OpsPerG; {
+		n := metaTxBatch
+		if o.OpsPerG-done < n {
+			n = o.OpsPerG - done
+		}
+		if err := s.Begin(); err != nil {
+			return err
+		}
+		savedRenames := renames
+		batchErr := func() error {
+			for j := 0; j < n; j++ {
+				if err := op(done + j); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if batchErr != nil {
+			aerr := s.Abort()
+			if errors.Is(batchErr, txn.ErrDeadlock) && aerr == nil {
+				renames = savedRenames // aborted renames roll back
+				continue
+			}
+			return errors.Join(batchErr, aerr)
+		}
+		if err := s.Commit(); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// RunMetaPoint measures one (shard count, clients) point on a fresh
+// prepopulated database, wall-clock.
+func RunMetaPoint(o MetaOptions) (ScalingPoint, error) {
+	o.fill()
+	db, gate, err := newMetaDB(o)
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	defer db.Close()
+	gate.Store(true)
+	errs := make([]error, o.Goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < o.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = metaWorker(db, o, g)
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	gate.Store(false) // Close's flush runs at memory speed
+	for _, err := range errs {
+		if err != nil {
+			return ScalingPoint{}, err
+		}
+	}
+	ops := o.Goroutines * o.OpsPerG
+	db.RefreshObsGauges()
+	return ScalingPoint{
+		Workload:   fmt.Sprintf("meta-n%d", o.Shards),
+		Goroutines: o.Goroutines,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+		Stats:      db.Stats(),
+		Obs:        db.Obs().Snapshot(),
+		Namespace:  db.NamespaceStats(),
+	}, nil
+}
+
+// RunMetaScaling runs the identical op stream once per shard count and
+// fills in each point's speedup relative to the first count (normally
+// N=1 — so the last point's Speedup is the headline "N=8 over N=1 at
+// the same client count" ratio).
+func RunMetaScaling(goroutines, opsPerG int, shardCounts []int) ([]ScalingPoint, error) {
+	points := make([]ScalingPoint, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		pt, err := RunMetaPoint(MetaOptions{Shards: n, Goroutines: goroutines, OpsPerG: opsPerG})
+		if err != nil {
+			return nil, err
+		}
+		if len(points) > 0 {
+			pt.Speedup = pt.OpsPerSec / points[0].OpsPerSec
+		} else {
+			pt.Speedup = 1
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

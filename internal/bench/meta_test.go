@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestMetaPointSmoke runs a deliberately tiny metadata storm — small
+// enough to finish in a couple of seconds even under the race detector,
+// where it is this package's race coverage for the concurrent meta
+// workers (the full-size throughput floor in the repo root skips under
+// race). It checks the point is well-formed: the advertised op count
+// ran, per-shard stats came back for every shard, and the hash actually
+// spread the clients' directories across more than one shard.
+func TestMetaPointSmoke(t *testing.T) {
+	pt, err := RunMetaPoint(MetaOptions{
+		Shards:        8,
+		Goroutines:    4,
+		OpsPerG:       16,
+		DirsPerG:      2,
+		EntriesPerDir: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Workload != "meta-n8" {
+		t.Fatalf("workload = %q", pt.Workload)
+	}
+	if pt.Ops != 4*16 || pt.OpsPerSec <= 0 {
+		t.Fatalf("ops = %d at %.1f ops/s", pt.Ops, pt.OpsPerSec)
+	}
+	if len(pt.Namespace) != 8 {
+		t.Fatalf("namespace stats for %d shards, want 8", len(pt.Namespace))
+	}
+	active := 0
+	for _, s := range pt.Namespace {
+		if s.Inserts > 0 || s.Lookups > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("metadata traffic reached %d shards, want >= 2", active)
+	}
+}

@@ -103,6 +103,10 @@ type ScalingPoint struct {
 	Speedup    float64      // vs the 1-goroutine point of the same workload
 	Stats      core.Stats   // post-run contention observables
 	Obs        obs.Snapshot // post-run metrics registry (latency histograms)
+
+	// Namespace carries per-shard routing/contention counters; only the
+	// metadata-storm workload fills it in.
+	Namespace []core.NamespaceShardStats `json:",omitempty"`
 }
 
 func scalingPath(i int) string { return fmt.Sprintf("/bench/f%02d", i) }

@@ -93,6 +93,9 @@ type Tree struct {
 	mu   sync.RWMutex
 }
 
+// OID reports the relation this tree's pages live in.
+func (t *Tree) OID() device.OID { return t.rel }
+
 // Open returns a tree over relation rel, initialising the meta page and
 // an empty root leaf if the relation is fresh.
 func Open(rel device.OID, pool *buffer.Pool) (*Tree, error) {

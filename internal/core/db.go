@@ -106,6 +106,22 @@ type Options struct {
 	// log force (see txn.Manager.CommitWindow). 0 (default) forces
 	// immediately.
 	GroupCommitWindow time.Duration
+	// NamespaceShards partitions the namespace metadata (naming/fileatt
+	// and their indexes) into this many hash-routed shards. Fixed at
+	// bootstrap and persisted in the log control page: on a fresh volume
+	// 0 means 1 (the legacy byte-identical layout); on an existing
+	// volume 0 means "use what the volume was bootstrapped with", and a
+	// non-zero mismatch is rejected at Open.
+	NamespaceShards int
+	// ShardClasses optionally spreads the namespace shards across device
+	// classes: shard i is placed on ShardClasses[i % len]. This is the
+	// multi-storage-manager story applied to metadata — one naming
+	// relation necessarily lives on one device, but hash-partitioned
+	// shards can each be bound to their own spindle so concurrent
+	// metadata I/O spreads across the hardware. Placement happens only
+	// when a shard's relations are first created; empty means
+	// DefaultClass for every shard.
+	ShardClasses []string
 }
 
 // FileFunc is a user-defined function over a file, executed inside the
@@ -123,12 +139,8 @@ type DB struct {
 	cat  *catalog.Catalog
 	opts Options
 
-	naming  *heap.Relation
-	fileatt *heap.Relation
+	ns      *namespaceShards
 	archive *heap.Relation
-	nameIdx *btree.Tree
-	fileIdx *btree.Tree
-	attIdx  *btree.Tree
 
 	relMu   sync.RWMutex
 	rels    map[device.OID]*heap.Relation
@@ -197,7 +209,8 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	pool.SetObs(db.metrics)
 	mgr.SetObs(db.metrics)
 
-	// Ensure the fixed relations exist and are placed.
+	// Ensure the fixed relations exist and are placed. The namespace
+	// shards place their own relations in openShards below.
 	fixed := []struct {
 		oid  device.OID
 		kind catalog.RelKind
@@ -205,12 +218,7 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 		{catalog.RelationsRel, catalog.KindHeap},
 		{catalog.TypesRel, catalog.KindHeap},
 		{catalog.FunctionsRel, catalog.KindHeap},
-		{NamingRel, catalog.KindHeap},
-		{FileAttRel, catalog.KindHeap},
 		{ArchiveRel, catalog.KindHeap},
-		{NameIdxRel, catalog.KindIndex},
-		{FileIdxRel, catalog.KindIndex},
-		{AttIdxRel, catalog.KindIndex},
 	}
 	for _, f := range fixed {
 		if _, err := sw.Home(f.oid); err != nil {
@@ -220,18 +228,14 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 		}
 	}
 
-	db.naming = heap.Open(NamingRel, pool, mgr)
-	db.fileatt = heap.Open(FileAttRel, pool, mgr)
+	nShards, err := resolveShardCount(log, opts.NamespaceShards)
+	if err != nil {
+		return nil, err
+	}
+	if db.ns, err = openShards(nShards, sw, pool, mgr, opts.DefaultClass, opts.ShardClasses); err != nil {
+		return nil, err
+	}
 	db.archive = heap.Open(ArchiveRel, pool, mgr)
-	if db.nameIdx, err = btree.Open(NameIdxRel, pool); err != nil {
-		return nil, err
-	}
-	if db.fileIdx, err = btree.Open(FileIdxRel, pool); err != nil {
-		return nil, err
-	}
-	if db.attIdx, err = btree.Open(AttIdxRel, pool); err != nil {
-		return nil, err
-	}
 
 	cat, err := catalog.Open(
 		heap.Open(catalog.RelationsRel, pool, mgr),
@@ -269,6 +273,7 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	db.views.Register(sysview.NewRelations(db.relRows))
 	db.views.Register(sysview.NewVacuum(db.vacuumRuns))
 	db.views.Register(sysview.NewStatTxn(db.metrics, mgr, pool))
+	db.views.Register(sysview.NewStatNamespace(db.namespaceRows))
 	db.views.Register(sysview.NewColumnsCatalog(db.views))
 
 	// Optional background machinery. Both are wall-clock paced, so the
@@ -328,24 +333,26 @@ func pickManager(sw *device.Switch, class string) (device.Manager, error) {
 
 func (db *DB) bootstrapRoot() error {
 	x := txn.BootstrapXID
-	tidN, err := db.naming.Insert(x, encodeNaming("/", 0, RootDirOID))
+	ds := db.ns.dirShard(0)
+	tidN, err := ds.naming.Insert(x, encodeNaming("/", 0, RootDirOID))
 	if err != nil {
 		return err
 	}
-	if _, err := db.nameIdx.Insert(btree.Entry{Key: nameKey(0, "/"), Val: tidN.Pack()}); err != nil {
+	if _, err := ds.nameIdx.Insert(btree.Entry{Key: nameKey(0, "/"), Val: tidN.Pack()}); err != nil {
 		return err
 	}
-	if _, err := db.fileIdx.Insert(btree.Entry{Key: oidKey(RootDirOID), Val: tidN.Pack()}); err != nil {
+	if _, err := ds.fileIdx.Insert(btree.Entry{Key: oidKey(RootDirOID), Val: tidN.Pack()}); err != nil {
 		return err
 	}
 	attr := FileAttr{
 		File: RootDirOID, Owner: "root", Type: TypeDirectory,
 	}
-	tidA, err := db.fileatt.Insert(x, encodeAttr(attr))
+	fs := db.ns.fileShard(RootDirOID)
+	tidA, err := fs.fileatt.Insert(x, encodeAttr(attr))
 	if err != nil {
 		return err
 	}
-	if _, err := db.attIdx.Insert(btree.Entry{Key: oidKey(RootDirOID), Val: tidA.Pack()}); err != nil {
+	if _, err := fs.attIdx.Insert(btree.Entry{Key: oidKey(RootDirOID), Val: tidA.Pack()}); err != nil {
 		return err
 	}
 	// Flush AND sync: the bootstrap transaction's status was forced (with
@@ -394,10 +401,13 @@ func (db *DB) relRows() ([]sysview.RelRow, error) {
 		{catalog.RelationsRel, "pg_relations"},
 		{catalog.TypesRel, "pg_types"},
 		{catalog.FunctionsRel, "pg_functions"},
-		{NamingRel, "naming"},
-		{FileAttRel, "fileatt"},
-		{ArchiveRel, "archive"},
 	}
+	for i, s := range db.ns.shards {
+		fixed = append(fixed,
+			fixedRel{s.naming.OID, shardName(i, "naming")},
+			fixedRel{s.fileatt.OID, shardName(i, "fileatt")})
+	}
+	fixed = append(fixed, fixedRel{ArchiveRel, "archive"})
 	var out []sysview.RelRow
 	add := func(oid device.OID, name, kind string, scan bool) error {
 		row := sysview.RelRow{OID: int64(oid), Name: name, Kind: kind}
@@ -418,11 +428,14 @@ func (db *DB) relRows() ([]sysview.RelRow, error) {
 			return nil, err
 		}
 	}
-	for _, idx := range []fixedRel{
-		{NameIdxRel, "naming_name_idx"},
-		{FileIdxRel, "naming_file_idx"},
-		{AttIdxRel, "fileatt_idx"},
-	} {
+	var idxs []fixedRel
+	for i, s := range db.ns.shards {
+		idxs = append(idxs,
+			fixedRel{s.nameIdx.OID(), shardName(i, "naming_name_idx")},
+			fixedRel{s.fileIdx.OID(), shardName(i, "naming_file_idx")},
+			fixedRel{s.attIdx.OID(), shardName(i, "fileatt_idx")})
+	}
+	for _, idx := range idxs {
 		if err := add(idx.oid, idx.name, "index", false); err != nil {
 			return nil, err
 		}
@@ -465,6 +478,87 @@ func (db *DB) RefreshObsGauges() {
 	m.Gauge("txn.checkpoint_xid").Set(int64(db.log.CheckpointXID()))
 	ps := db.pool.Stats()
 	m.Gauge("buffer.dirty_pages").Set(ps.DirtyPages)
+	m.Gauge("namespace.shards").Set(int64(db.ns.n))
+	for _, s := range db.ns.shards {
+		pre := fmt.Sprintf("namespace.shard%d.", s.id)
+		m.Gauge(pre + "lookups").Set(s.lookups.Load())
+		m.Gauge(pre + "hits").Set(s.hits.Load())
+		m.Gauge(pre + "inserts").Set(s.inserts.Load())
+		m.Gauge(pre + "removes").Set(s.removes.Load())
+		m.Gauge(pre + "renames").Set(s.renames.Load())
+		m.Gauge(pre + "cross_renames").Set(s.crossRenames.Load())
+		m.Gauge(pre + "lock_waits").Set(s.lockWaits.Load())
+	}
+}
+
+// NamespaceShardCount reports how many shards this volume's namespace
+// metadata is partitioned into (1 = the legacy layout).
+func (db *DB) NamespaceShardCount() int { return int(db.ns.n) }
+
+// NamespaceShardStats is one shard's traffic and contention counters
+// (no row counts — those need a heap scan; see namespaceRows).
+type NamespaceShardStats struct {
+	Shard        int
+	Lookups      int64
+	Hits         int64
+	Inserts      int64
+	Removes      int64
+	Renames      int64
+	CrossRenames int64
+	LockWaits    int64
+}
+
+// NamespaceStats snapshots every shard's counters (benchmarks, tests).
+func (db *DB) NamespaceStats() []NamespaceShardStats {
+	out := make([]NamespaceShardStats, len(db.ns.shards))
+	for i, s := range db.ns.shards {
+		out[i] = NamespaceShardStats{
+			Shard:        s.id,
+			Lookups:      s.lookups.Load(),
+			Hits:         s.hits.Load(),
+			Inserts:      s.inserts.Load(),
+			Removes:      s.removes.Load(),
+			Renames:      s.renames.Load(),
+			CrossRenames: s.crossRenames.Load(),
+			LockWaits:    s.lockWaits.Load(),
+		}
+	}
+	return out
+}
+
+// namespaceRows materializes inv_stat_namespace: one row per shard with
+// live/dead naming and fileatt row counts (a heap scan, computed on
+// demand — the catalog path, not the metrics path) plus the atomic
+// traffic counters.
+func (db *DB) namespaceRows() ([]sysview.NamespaceShardRow, error) {
+	out := make([]sysview.NamespaceShardRow, 0, len(db.ns.shards))
+	for _, s := range db.ns.shards {
+		nst, err := s.naming.TupleStats()
+		if err != nil {
+			return nil, err
+		}
+		ast, err := s.fileatt.TupleStats()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sysview.NamespaceShardRow{
+			Shard:        int64(s.id),
+			NamingOID:    int64(s.naming.OID),
+			FileAttOID:   int64(s.fileatt.OID),
+			NamingLive:   int64(nst.Live),
+			NamingDead:   int64(nst.Dead),
+			FileAttLive:  int64(ast.Live),
+			FileAttDead:  int64(ast.Dead),
+			Lookups:      s.lookups.Load(),
+			Hits:         s.hits.Load(),
+			Inserts:      s.inserts.Load(),
+			Removes:      s.removes.Load(),
+			Renames:      s.renames.Load(),
+			CrossRenames: s.crossRenames.Load(),
+			LockWaits:    s.lockWaits.Load(),
+		})
+	}
+	return out, nil
 }
 
 // Stats aggregates operational counters for monitoring.

@@ -95,11 +95,12 @@ func (db *DB) CreateTx(tx *txn.Tx, path, owner, fileType, class string, flags ui
 	if err := db.addNaming(tx, name, parent, oid); err != nil {
 		return nil, err
 	}
-	tidA, err := db.fileatt.Insert(tx.ID(), encodeAttr(attr))
+	fs := db.ns.fileShard(oid)
+	tidA, err := fs.fileatt.Insert(tx.ID(), encodeAttr(attr))
 	if err != nil {
 		return nil, err
 	}
-	if _, err := db.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: tidA.Pack()}); err != nil {
+	if _, err := fs.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: tidA.Pack()}); err != nil {
 		return nil, err
 	}
 	if err := db.touchMTime(tx, snap, parent); err != nil {

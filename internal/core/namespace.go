@@ -127,10 +127,13 @@ func (db *DB) archiveLookup(rel device.OID, asof int64, check func(payload []byt
 }
 
 // lookupChild finds the file OID bound to name inside directory parent,
-// using the naming index and verifying against the heap (the index key
-// is a hash, so collisions are resolved by checking the actual row).
+// using the parent's shard's naming index and verifying against that
+// shard's heap (the index key is a hash, so collisions are resolved by
+// checking the actual row).
 func (db *DB) lookupChild(snap *txn.Snapshot, parent device.OID, name string) (device.OID, heap.TID, error) {
-	tid, payload, found, err := db.fetchVisible(db.nameIdx, nameKey(parent, name), db.naming, snap,
+	s := db.ns.dirShard(parent)
+	s.lookups.Add(1)
+	tid, payload, found, err := db.fetchVisible(s.nameIdx, nameKey(parent, name), s.naming, snap,
 		func(payload []byte) (bool, error) {
 			gotName, gotParent, _, err := decodeNaming(payload)
 			if err != nil {
@@ -144,6 +147,7 @@ func (db *DB) lookupChild(snap *txn.Snapshot, parent device.OID, name string) (d
 	if !found {
 		return 0, heap.TID{}, ErrNotExist
 	}
+	s.hits.Add(1)
 	_, _, fileOID, err := decodeNaming(payload)
 	if err != nil {
 		return 0, heap.TID{}, err
@@ -151,7 +155,15 @@ func (db *DB) lookupChild(snap *txn.Snapshot, parent device.OID, name string) (d
 	return fileOID, tid, nil
 }
 
-// Resolve walks an absolute path to its file OID under snap.
+// Resolve walks an absolute path to its file OID under snap: one
+// snapshot for the whole walk, one shard hop per component. The walk is
+// optimistic — it probes the child binding directly and only fetches
+// the parent's attributes to classify a miss (is the parent not a
+// directory, or does the child not exist?). This is sound because a
+// naming row only ever exists under a verified directory: mkdir/create
+// check the parent's type before binding, directories are never
+// retyped, and OIDs are never reused — so a successful child probe
+// proves the parent was a directory without a second index probe.
 func (db *DB) Resolve(snap *txn.Snapshot, path string) (device.OID, error) {
 	parts, err := SplitPath(path)
 	if err != nil {
@@ -159,7 +171,15 @@ func (db *DB) Resolve(snap *txn.Snapshot, path string) (device.OID, error) {
 	}
 	cur := RootDirOID
 	for i, name := range parts {
-		// Every path component is looked up inside a directory.
+		oid, _, lerr := db.lookupChild(snap, cur, name)
+		if lerr == nil {
+			cur = oid
+			continue
+		}
+		if !isNotExist(lerr) {
+			return 0, fmt.Errorf("%w: %q", lerr, path)
+		}
+		// Miss: classify against the parent before reporting.
 		attr, _, err := db.getAttr(snap, cur)
 		if err != nil {
 			return 0, err
@@ -167,18 +187,17 @@ func (db *DB) Resolve(snap *txn.Snapshot, path string) (device.OID, error) {
 		if !attr.IsDir() {
 			return 0, fmt.Errorf("%w: /%s", ErrNotDirectory, strings.Join(parts[:i], "/"))
 		}
-		oid, _, err := db.lookupChild(snap, cur, name)
-		if err != nil {
-			return 0, fmt.Errorf("%w: %q", err, path)
-		}
-		cur = oid
+		return 0, fmt.Errorf("%w: %q", lerr, path)
 	}
 	return cur, nil
 }
 
-// getAttr fetches the visible fileatt row for a file OID.
+// getAttr fetches the visible fileatt row for a file OID from the
+// shard the OID hashes to (attributes route by file OID, not parent,
+// so this is always a single-shard probe).
 func (db *DB) getAttr(snap *txn.Snapshot, oid device.OID) (FileAttr, heap.TID, error) {
-	tid, payload, found, err := db.fetchVisible(db.attIdx, oidKey(oid), db.fileatt, snap,
+	s := db.ns.fileShard(oid)
+	tid, payload, found, err := db.fetchVisible(s.attIdx, oidKey(oid), s.fileatt, snap,
 		func(payload []byte) (bool, error) {
 			got, err := decodeAttr(payload)
 			if err != nil {
@@ -208,49 +227,66 @@ func (db *DB) updateAttr(tx *txn.Tx, snap *txn.Snapshot, oid device.OID, mutate 
 		return err
 	}
 	mutate(&attr)
-	newTID, err := db.fileatt.Update(tx.ID(), tid, encodeAttr(attr))
+	s := db.ns.fileShard(oid)
+	newTID, err := s.fileatt.UpdateInPlace(tx.ID(), tid, encodeAttr(attr))
 	if err != nil {
 		return err
 	}
-	_, err = db.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: newTID.Pack()})
+	if newTID == tid {
+		return nil // same-tx in-place rewrite: index entry already points here
+	}
+	_, err = s.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: newTID.Pack()})
 	return err
 }
 
-// addNaming inserts a naming row plus its index entries.
+// addNaming inserts a naming row plus its index entries into the
+// parent directory's shard.
 func (db *DB) addNaming(tx *txn.Tx, name string, parent, file device.OID) error {
-	tid, err := db.naming.Insert(tx.ID(), encodeNaming(name, parent, file))
+	s := db.ns.dirShard(parent)
+	tid, err := s.naming.Insert(tx.ID(), encodeNaming(name, parent, file))
 	if err != nil {
 		return err
 	}
-	if _, err := db.nameIdx.Insert(btree.Entry{Key: nameKey(parent, name), Val: tid.Pack()}); err != nil {
+	if _, err := s.nameIdx.Insert(btree.Entry{Key: nameKey(parent, name), Val: tid.Pack()}); err != nil {
 		return err
 	}
-	_, err = db.fileIdx.Insert(btree.Entry{Key: oidKey(file), Val: tid.Pack()})
-	return err
+	if _, err := s.fileIdx.Insert(btree.Entry{Key: oidKey(file), Val: tid.Pack()}); err != nil {
+		return err
+	}
+	s.inserts.Add(1)
+	return nil
 }
 
 // NamingEntry reports the visible naming row for a file OID: its name
-// and parent directory.
+// and parent directory. The row lives in its parent's shard, and the
+// parent is exactly what we do not know yet, so every shard's file
+// index is probed (the reverse lookup is an admin/path-reconstruction
+// operation, not a hot path).
 func (db *DB) NamingEntry(snap *txn.Snapshot, oid device.OID) (name string, parent device.OID, tid heap.TID, err error) {
-	tid, payload, found, err := db.fetchVisible(db.fileIdx, oidKey(oid), db.naming, snap,
-		func(payload []byte) (bool, error) {
-			_, _, fileOID, err := decodeNaming(payload)
-			if err != nil {
-				return false, err
-			}
-			return fileOID == oid, nil
-		})
-	if err != nil {
-		return "", 0, heap.TID{}, err
+	for _, s := range db.ns.shards {
+		var payload []byte
+		var found bool
+		tid, payload, found, err = db.fetchVisible(s.fileIdx, oidKey(oid), s.naming, snap,
+			func(payload []byte) (bool, error) {
+				_, _, fileOID, err := decodeNaming(payload)
+				if err != nil {
+					return false, err
+				}
+				return fileOID == oid, nil
+			})
+		if err != nil {
+			return "", 0, heap.TID{}, err
+		}
+		if !found {
+			continue
+		}
+		name, parent, _, err = decodeNaming(payload)
+		if err != nil {
+			return "", 0, heap.TID{}, err
+		}
+		return name, parent, tid, nil
 	}
-	if !found {
-		return "", 0, heap.TID{}, ErrNotExist
-	}
-	name, parent, _, err = decodeNaming(payload)
-	if err != nil {
-		return "", 0, heap.TID{}, err
-	}
-	return name, parent, tid, nil
+	return "", 0, heap.TID{}, ErrNotExist
 }
 
 // PathOf reconstructs the absolute path of a file OID ("Inversion
@@ -289,15 +325,18 @@ func (db *DB) ReadDir(snap *txn.Snapshot, dir device.OID) ([]DirEntry, error) {
 	if !attr.IsDir() {
 		return nil, ErrNotDirectory
 	}
+	// A directory's entries all live in its own shard (naming routes by
+	// parent), so a listing is a single-shard index scan.
+	s := db.ns.dirShard(dir)
 	seen := make(map[device.OID]bool)
 	var out []DirEntry
 	var scanErr error
-	err = db.nameIdx.Ascend(btree.Key{K1: uint64(dir)}, func(e btree.Entry) bool {
+	err = s.nameIdx.Ascend(btree.Key{K1: uint64(dir)}, func(e btree.Entry) bool {
 		if e.Key.K1 != uint64(dir) {
 			return false
 		}
 		tid := heap.UnpackTID(e.Val)
-		payload, ferr := db.naming.Fetch(snap, tid)
+		payload, ferr := s.naming.Fetch(snap, tid)
 		if ferr != nil {
 			return true
 		}
@@ -330,7 +369,7 @@ func (db *DB) ReadDir(snap *txn.Snapshot, dir device.OID) ([]DirEntry, error) {
 		asof := snap.AsOfTime()
 		err := db.archive.Scan(db.mgr.CurrentSnapshot(), func(_ heap.TID, rec []byte) (bool, error) {
 			h, payload, ok := heap.DecodeArchive(rec)
-			if !ok || h.Rel != uint32(NamingRel) {
+			if !ok || h.Rel != uint32(s.naming.OID) {
 				return false, nil
 			}
 			if h.XminTime == 0 || h.XminTime > asof || (h.XmaxTime != 0 && h.XmaxTime <= asof) {
@@ -360,16 +399,22 @@ func (db *DB) ReadDir(snap *txn.Snapshot, dir device.OID) ([]DirEntry, error) {
 // engine's retrieve statements run over. The naming ⋈ fileatt join
 // happens lazily through the function layer.
 func (db *DB) ForEachFile(snap *txn.Snapshot, fn func(name string, parent, oid device.OID) error) error {
-	return db.naming.Scan(snap, func(_ heap.TID, payload []byte) (bool, error) {
-		name, parent, oid, err := decodeNaming(payload)
+	for _, s := range db.ns.shards {
+		err := s.naming.Scan(snap, func(_ heap.TID, payload []byte) (bool, error) {
+			name, parent, oid, err := decodeNaming(payload)
+			if err != nil {
+				return false, err
+			}
+			if err := fn(name, parent, oid); err != nil {
+				return false, err
+			}
+			return false, nil
+		})
 		if err != nil {
-			return false, err
+			return err
 		}
-		if err := fn(name, parent, oid); err != nil {
-			return false, err
-		}
-		return false, nil
-	})
+	}
+	return nil
 }
 
 // splitDirBase resolves the directory part of path and returns its OID
@@ -398,10 +443,23 @@ func (db *DB) splitDirBase(snap *txn.Snapshot, path string) (device.OID, string,
 }
 
 // lockName takes an exclusive lock on a (directory, name) binding so
-// concurrent creates/unlinks of the same entry serialise.
+// concurrent creates/unlinks of the same entry serialise. The tag is
+// shard-qualified — Rel is the shard's naming OID, and the key mixes
+// the parent OID with the name hash — so bindings in unrelated
+// directories get distinct tags and never queue on each other, and a
+// wait can be charged to the shard it happened in.
 func (db *DB) lockName(tx *txn.Tx, parent device.OID, name string) error {
+	s := db.ns.dirShard(parent)
 	k := nameKey(parent, name)
-	return tx.Lock(txn.LockTag{Space: txn.SpaceName, Rel: parent, Key: k.K2}, txn.LockExclusive)
+	waited, err := tx.LockWaited(txn.LockTag{
+		Space: txn.SpaceName,
+		Rel:   s.naming.OID,
+		Key:   mix64(uint64(parent)) ^ k.K2,
+	}, txn.LockExclusive)
+	if waited {
+		s.lockWaits.Add(1)
+	}
+	return err
 }
 
 // writeSnap returns the current-read snapshot mutations use to locate
@@ -437,11 +495,12 @@ func (db *DB) MkdirTx(tx *txn.Tx, path, owner string) (device.OID, error) {
 		File: oid, Owner: owner, Type: TypeDirectory,
 		CTime: now, MTime: now, ATime: now,
 	}
-	tidA, err := db.fileatt.Insert(tx.ID(), encodeAttr(attr))
+	fs := db.ns.fileShard(oid)
+	tidA, err := fs.fileatt.Insert(tx.ID(), encodeAttr(attr))
 	if err != nil {
 		return 0, err
 	}
-	if _, err := db.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: tidA.Pack()}); err != nil {
+	if _, err := fs.attIdx.Insert(btree.Entry{Key: oidKey(oid), Val: tidA.Pack()}); err != nil {
 		return 0, err
 	}
 	if err := db.touchMTime(tx, snap, parent); err != nil {
@@ -496,17 +555,25 @@ func (db *DB) UnlinkTx(tx *txn.Tx, path string) error {
 			return err
 		}
 	}
-	if err := db.naming.Delete(tx.ID(), namingTID); err != nil {
+	ds := db.ns.dirShard(parent)
+	if err := ds.naming.Delete(tx.ID(), namingTID); err != nil {
 		return err
 	}
-	if err := db.fileatt.Delete(tx.ID(), attrTID); err != nil {
+	ds.removes.Add(1)
+	if err := db.ns.fileShard(oid).fileatt.Delete(tx.ID(), attrTID); err != nil {
 		return err
 	}
 	return db.touchMTime(tx, snap, parent)
 }
 
 // RenameTx moves a binding to a new path (same database). The file
-// keeps its OID; only the naming row changes.
+// keeps its OID; only the naming row changes. When the old and new
+// parents hash to different shards this is a two-shard transactional
+// move — delete in the source shard, insert in the destination — and
+// both halves ride the same transaction, so visibility (and crash
+// recovery) makes them atomic: no snapshot can ever see the binding in
+// both shards or in neither. The file's fileatt row routes by file
+// OID, not parent, so attributes never move on rename.
 func (db *DB) RenameTx(tx *txn.Tx, oldPath, newPath string) error {
 	snap := db.writeSnap(tx)
 	oldParent, oldName, err := db.splitDirBase(snap, oldPath)
@@ -517,6 +584,9 @@ func (db *DB) RenameTx(tx *txn.Tx, oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
+	// Old binding first, then new; two renames crossing the same pair
+	// in opposite directions can close a lock cycle, which the deadlock
+	// detector resolves by aborting one (callers retry on ErrDeadlock).
 	if err := db.lockName(tx, oldParent, oldName); err != nil {
 		return err
 	}
@@ -533,11 +603,17 @@ func (db *DB) RenameTx(tx *txn.Tx, oldPath, newPath string) error {
 	} else if !isNotExist(err) {
 		return err
 	}
-	if err := db.naming.Delete(tx.ID(), namingTID); err != nil {
+	src, dst := db.ns.dirShard(oldParent), db.ns.dirShard(newParent)
+	if err := src.naming.Delete(tx.ID(), namingTID); err != nil {
 		return err
 	}
+	src.removes.Add(1)
 	if err := db.addNaming(tx, newName, newParent, oid); err != nil {
 		return err
+	}
+	src.renames.Add(1)
+	if src != dst {
+		src.crossRenames.Add(1)
 	}
 	if err := db.touchMTime(tx, snap, oldParent); err != nil {
 		return err

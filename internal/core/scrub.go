@@ -52,10 +52,12 @@ func (db *DB) CheckMedia() (MediaReport, error) {
 	if err := db.pool.FlushAll(); err != nil {
 		return rep, err
 	}
-	rels := []device.OID{
-		NamingRel, FileAttRel, ArchiveRel,
-		catalog.RelationsRel, catalog.TypesRel, catalog.FunctionsRel,
+	var rels []device.OID
+	for _, s := range db.ns.shards {
+		rels = append(rels, s.naming.OID, s.fileatt.OID)
 	}
+	rels = append(rels, ArchiveRel,
+		catalog.RelationsRel, catalog.TypesRel, catalog.FunctionsRel)
 	for _, ri := range db.cat.Relations() {
 		if ri.Kind == catalog.KindHeap {
 			rels = append(rels, ri.OID)
@@ -148,15 +150,26 @@ func (db *DB) Scrub() (ScrubReport, error) {
 	}
 	rep.Media = media
 
-	// Structural B-tree invariants: fixed indexes plus every catalogued
-	// chunk index.
-	idxTrees := []struct {
+	// Structural B-tree invariants: every shard's namespace indexes plus
+	// every catalogued chunk index.
+	var idxTrees []struct {
 		name string
 		tree *btree.Tree
-	}{
-		{"naming_name_idx", db.nameIdx},
-		{"naming_file_idx", db.fileIdx},
-		{"fileatt_idx", db.attIdx},
+	}
+	for i, s := range db.ns.shards {
+		idxTrees = append(idxTrees,
+			struct {
+				name string
+				tree *btree.Tree
+			}{shardName(i, "naming_name_idx"), s.nameIdx},
+			struct {
+				name string
+				tree *btree.Tree
+			}{shardName(i, "naming_file_idx"), s.fileIdx},
+			struct {
+				name string
+				tree *btree.Tree
+			}{shardName(i, "fileatt_idx"), s.attIdx})
 	}
 	for _, ri := range db.cat.Relations() {
 		if ri.Kind != catalog.KindIndex {
@@ -194,17 +207,26 @@ func (db *DB) Scrub() (ScrubReport, error) {
 		file   device.OID
 	}
 	var rows []nameRow
-	err = db.naming.Scan(snap, func(_ heap.TID, rec []byte) (bool, error) {
-		name, parent, file, err := decodeNaming(rec)
-		if err != nil {
-			rep.problemf("naming: undecodable row: %v", err)
+	for _, s := range db.ns.shards {
+		s := s
+		err = s.naming.Scan(snap, func(_ heap.TID, rec []byte) (bool, error) {
+			name, parent, file, err := decodeNaming(rec)
+			if err != nil {
+				rep.problemf("%s: undecodable row: %v", shardName(s.id, "naming"), err)
+				return false, nil
+			}
+			// Routing invariant: a naming row must live in its parent's
+			// shard, or lookups would never find it.
+			if home := db.ns.dirShard(parent); home != s {
+				rep.problemf("file %q (oid %d): naming row in shard %d, parent %d routes to shard %d",
+					name, file, s.id, parent, home.id)
+			}
+			rows = append(rows, nameRow{name, parent, file})
 			return false, nil
+		})
+		if err != nil {
+			return rep, err
 		}
-		rows = append(rows, nameRow{name, parent, file})
-		return false, nil
-	})
-	if err != nil {
-		return rep, err
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].file < rows[j].file })
 	dirs := make(map[device.OID]bool)

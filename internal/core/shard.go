@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/device"
+	"repro/internal/heap"
+	"repro/internal/txn"
+)
+
+// MaxNamespaceShards bounds the shard count so every shard's five fixed
+// relation OIDs stay below catalog.FirstUserOID (shard 15's last OID is
+// 94; user relations start at 100).
+const MaxNamespaceShards = 16
+
+// shardOIDBase is where the extra shards' relation OIDs start. Shard 0
+// keeps the legacy OIDs (3/4/13/14/15) so an N=1 volume is
+// byte-identical to the pre-shard layout; shard i≥1 takes five
+// consecutive OIDs at 20+5*(i-1).
+const shardOIDBase device.OID = 20
+
+// shardRelOIDs reports the five relation OIDs backing shard i:
+// naming heap, fileatt heap, name index, file index, attr index.
+func shardRelOIDs(i int) (naming, fileatt, nameIdx, fileIdx, attIdx device.OID) {
+	if i == 0 {
+		return NamingRel, FileAttRel, NameIdxRel, FileIdxRel, AttIdxRel
+	}
+	base := shardOIDBase + device.OID(5*(i-1))
+	return base, base + 1, base + 2, base + 3, base + 4
+}
+
+// nsShard is one namespace partition: its own naming/fileatt heaps and
+// name/file/attr B-trees, plus contention counters. Handles are opened
+// once at DB open — there is no per-access lock to resolve them, which
+// is the point: unrelated directories touch disjoint shards and never
+// meet on an index root page or a relation mutex.
+type nsShard struct {
+	id int
+
+	naming  *heap.Relation
+	fileatt *heap.Relation
+	nameIdx *btree.Tree
+	fileIdx *btree.Tree
+	attIdx  *btree.Tree
+
+	// Contention and traffic observables, served by inv_stat_namespace
+	// and the /metrics gauges.
+	lookups      atomic.Int64 // lookupChild probes routed here
+	hits         atomic.Int64 // probes that found a visible row
+	inserts      atomic.Int64 // naming rows added (create/mkdir/rename-in)
+	removes      atomic.Int64 // naming rows deleted (unlink/rename-out)
+	renames      atomic.Int64 // renames whose source row lived here
+	crossRenames atomic.Int64 // renames that left this shard for another
+	lockWaits    atomic.Int64 // name-lock acquisitions that queued
+}
+
+// namespaceShards maps a parent directory (or file OID) to the shard
+// holding its metadata. The count is fixed at bootstrap and persisted
+// in the log control page; with n=1 every route lands on shard 0 and
+// the layout is byte-identical to the unsharded one.
+type namespaceShards struct {
+	n      uint32
+	shards []*nsShard
+}
+
+// openShards places (if needed) and opens the n shards' relations.
+// shardClasses, when non-empty, binds shard i's five relations to
+// device class shardClasses[i%len] instead of the default class, so
+// shards can be spread across spindles.
+func openShards(n int, sw *device.Switch, pool *buffer.Pool, mgr *txn.Manager, class string, shardClasses []string) (*namespaceShards, error) {
+	ns := &namespaceShards{n: uint32(n), shards: make([]*nsShard, n)}
+	for i := 0; i < n; i++ {
+		cls := class
+		if len(shardClasses) > 0 {
+			cls = shardClasses[i%len(shardClasses)]
+		}
+		no, fo, nio, fio, aio := shardRelOIDs(i)
+		for _, oid := range []device.OID{no, fo, nio, fio, aio} {
+			if _, err := sw.Home(oid); err != nil {
+				if err := sw.Place(oid, cls); err != nil {
+					return nil, err
+				}
+			}
+		}
+		s := &nsShard{
+			id:      i,
+			naming:  heap.Open(no, pool, mgr),
+			fileatt: heap.Open(fo, pool, mgr),
+		}
+		var err error
+		if s.nameIdx, err = btree.Open(nio, pool); err != nil {
+			return nil, err
+		}
+		if s.fileIdx, err = btree.Open(fio, pool); err != nil {
+			return nil, err
+		}
+		if s.attIdx, err = btree.Open(aio, pool); err != nil {
+			return nil, err
+		}
+		ns.shards[i] = s
+	}
+	return ns, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler so
+// consecutive OIDs (the allocator hands them out sequentially) spread
+// across shards instead of striding.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fileShardSalt decorrelates attribute placement from naming placement
+// so a directory's fileatt row does not share a shard with its own
+// children's naming rows by construction.
+const fileShardSalt = 0x9e3779b97f4a7c15
+
+// dirShard routes by parent directory: all naming rows (and their
+// name/file index entries) for children of one directory live in one
+// shard — the HopsFS partitioning rule, which keeps lookup and ReadDir
+// single-shard.
+func (ns *namespaceShards) dirShard(parent device.OID) *nsShard {
+	if ns.n == 1 {
+		return ns.shards[0]
+	}
+	return ns.shards[mix64(uint64(parent))%uint64(ns.n)]
+}
+
+// fileShard routes by file OID: a file's fileatt row (and attr index
+// entry) lives in the shard named by its own OID, so getAttr is a
+// single probe and rename never has to move attributes.
+func (ns *namespaceShards) fileShard(oid device.OID) *nsShard {
+	if ns.n == 1 {
+		return ns.shards[0]
+	}
+	return ns.shards[mix64(uint64(oid)^fileShardSalt)%uint64(ns.n)]
+}
+
+// shardName labels shard i's relation rel ("naming", "fileatt", …) for
+// catalogs: shard 0 keeps the legacy unsuffixed names.
+func shardName(i int, rel string) string {
+	if i == 0 {
+		return rel
+	}
+	return fmt.Sprintf("%s_s%d", rel, i)
+}
+
+// resolveShardCount decides how many shards this volume has. A fresh
+// volume takes the requested count (0 = default 1) and, when above
+// one, persists it in the log control page. An existing volume uses
+// the persisted count (0 = legacy single-shard); an explicit request
+// that disagrees is a configuration error and is rejected loudly —
+// silently rerouting hashes would make every existing row unreachable.
+func resolveShardCount(log *txn.Log, requested int) (int, error) {
+	if requested < 0 || requested > MaxNamespaceShards {
+		return 0, fmt.Errorf("inversion: namespace shard count %d out of range [0,%d]", requested, MaxNamespaceShards)
+	}
+	if log.Bootstrapped() {
+		n := requested
+		if n == 0 {
+			n = 1
+		}
+		if n > 1 {
+			if err := log.SetNamespaceShards(uint32(n)); err != nil {
+				return 0, err
+			}
+		}
+		return n, nil
+	}
+	stored := int(log.NamespaceShards())
+	if stored == 0 {
+		stored = 1
+	}
+	if stored > MaxNamespaceShards {
+		return 0, fmt.Errorf("inversion: volume declares %d namespace shards, above the maximum %d — refusing to guess", stored, MaxNamespaceShards)
+	}
+	if requested != 0 && requested != stored {
+		return 0, fmt.Errorf("inversion: volume was bootstrapped with %d namespace shards, opened with %d — shard count is fixed at bootstrap", stored, requested)
+	}
+	return stored, nil
+}

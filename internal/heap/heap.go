@@ -168,6 +168,42 @@ func (r *Relation) Update(x txn.XID, tid TID, payload []byte) (TID, error) {
 	return r.Insert(x, payload)
 }
 
+// UpdateInPlace is Update with a same-transaction fast path: when the
+// version at tid was created by x itself and no one has stamped it, it
+// is overwritten in place (same-size payloads only — the slot cannot
+// grow) and the same TID is returned, meaning the caller must not add
+// another index entry. An uncommitted version is invisible to every
+// snapshot but its own transaction's, and that transaction can only
+// ever see its newest state, so collapsing intermediate
+// same-transaction versions preserves the no-overwrite discipline for
+// everything a snapshot could observe. Rows a transaction rewrites k
+// times (a directory's mtime under a create storm) would otherwise
+// chain k versions and k index entries per commit, and every later
+// reader would walk the whole chain.
+func (r *Relation) UpdateInPlace(x txn.XID, tid TID, payload []byte) (TID, error) {
+	if len(payload) <= MaxPayload {
+		f, err := r.pool.Get(r.OID, tid.Page)
+		if err != nil {
+			return TID{}, err
+		}
+		f.Lock()
+		item := f.Data.Item(int(tid.Slot))
+		if item != nil && len(item) == recordHeader+len(payload) {
+			xmin := txn.XID(binary.LittleEndian.Uint32(item[0:]))
+			xmax := txn.XID(binary.LittleEndian.Uint32(item[4:]))
+			if xmin == x && xmax == txn.InvalidXID {
+				copy(item[recordHeader:], payload)
+				f.Unlock()
+				r.pool.Release(f, true)
+				return tid, nil
+			}
+		}
+		f.Unlock()
+		r.pool.Release(f, false)
+	}
+	return r.Update(x, tid, payload)
+}
+
 // Fetch returns a copy of the record payload at tid if it is visible to
 // snap; otherwise ErrNotVisible (or ErrNoRecord if the slot is dead).
 func (r *Relation) Fetch(snap *txn.Snapshot, tid TID) ([]byte, error) {

@@ -1,10 +1,12 @@
 package query
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
@@ -170,5 +172,67 @@ func TestStatOpsMatchesRegistry(t *testing.T) {
 	}
 	if res.Rows[0][0].Kind != value.KindString {
 		t.Fatalf("op column kind = %v", res.Rows[0][0].Kind)
+	}
+}
+
+// TestStatNamespaceVirtualRelation drives metadata traffic on a
+// four-shard volume and checks inv_stat_namespace reports it: one row
+// per shard plus the merged "all" row, live naming counts that add up,
+// and routing counters that reflect the creates and the
+// directory-crossing rename.
+func TestStatNamespaceVirtualRelation(t *testing.T) {
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	db, err := core.Open(sw, core.Options{Buffers: 128, NamespaceShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Crash()
+	s := db.NewSession("mao")
+	e := New(db)
+
+	const dirs = 4
+	for d := 0; d < dirs; d++ {
+		if err := s.Mkdir(fmt.Sprintf("/vd%d", d)); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			if err := s.WriteFile(fmt.Sprintf("/vd%d/f%d", d, k), []byte("x"), core.CreateOpts{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Rename("/vd0/f0", "/vd1/moved"); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustRun(t, e, s, `retrieve (n.shard, n.naming_live, n.inserts, n.renames, n.lock_waits)
+		from n in inv_stat_namespace`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("inv_stat_namespace rows = %d, want 4 shards + all", len(res.Rows))
+	}
+	var perShardLive, allLive int64
+	for _, row := range res.Rows {
+		if row[0].S == "all" {
+			allLive = row[1].I
+		} else {
+			perShardLive += row[1].I
+		}
+	}
+	if allLive == 0 || perShardLive != allLive {
+		t.Fatalf("merged naming_live %d != per-shard sum %d", allLive, perShardLive)
+	}
+	// 4 dirs + 12 files + the root's children: every naming row is live.
+	if allLive < 16 {
+		t.Fatalf("naming_live = %d, want at least the 16 created entries", allLive)
+	}
+	res = mustRun(t, e, s, `retrieve (n.shard) from n in inv_stat_namespace
+		where n.inserts > 0 and n.shard != "all"`)
+	if len(res.Rows) < 2 {
+		t.Fatalf("metadata traffic reached %d shards, want >= 2 at N=4 (degenerate routing?)", len(res.Rows))
+	}
+	res = mustRun(t, e, s, `retrieve (n.renames) from n in inv_stat_namespace where n.shard = "all"`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("merged renames = %v, want 1", res.Rows)
 	}
 }

@@ -390,6 +390,94 @@ func NewStatTxn(reg *obs.Registry, mgr *txn.Manager, pool *buffer.Pool) VirtualR
 	}
 }
 
+// NamespaceShardRow is one namespace shard's profile: row counts from
+// a heap scan plus the shard's traffic and contention counters; core
+// materializes these (sysview cannot depend on core's shard table).
+type NamespaceShardRow struct {
+	Shard        int64
+	NamingOID    int64
+	FileAttOID   int64
+	NamingLive   int64
+	NamingDead   int64
+	FileAttLive  int64
+	FileAttDead  int64
+	Lookups      int64
+	Hits         int64
+	Inserts      int64
+	Removes      int64
+	Renames      int64
+	CrossRenames int64
+	LockWaits    int64
+}
+
+// NewStatNamespace returns inv_stat_namespace: one row per namespace
+// shard plus a merged "all" row, mirroring inv_stat_buffer's shape.
+func NewStatNamespace(fetch func() ([]NamespaceShardRow, error)) VirtualRel {
+	return &funcRel{
+		name: "inv_stat_namespace",
+		doc:  "namespace metadata shards: row counts, routing traffic, and lock contention",
+		cols: []Column{
+			{"shard", value.KindString, "shard index 00..15, or 'all' for the merged row"},
+			{"naming_oid", value.KindInt, "the shard's naming heap OID (0 in the merged row)"},
+			{"fileatt_oid", value.KindInt, "the shard's fileatt heap OID (0 in the merged row)"},
+			{"naming_live", value.KindInt, "live naming rows"},
+			{"naming_dead", value.KindInt, "dead naming rows (vacuum candidates)"},
+			{"fileatt_live", value.KindInt, "live fileatt rows"},
+			{"fileatt_dead", value.KindInt, "dead fileatt rows"},
+			{"lookups", value.KindInt, "name lookups routed to this shard"},
+			{"hits", value.KindInt, "lookups that found a visible row"},
+			{"inserts", value.KindInt, "naming rows added"},
+			{"removes", value.KindInt, "naming rows deleted"},
+			{"renames", value.KindInt, "renames sourced in this shard"},
+			{"cross_renames", value.KindInt, "renames that moved the row to another shard"},
+			{"lock_waits", value.KindInt, "name-lock acquisitions that queued here"},
+		},
+		rows: func() ([][]value.V, error) {
+			shards, err := fetch()
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]value.V, 0, len(shards)+1)
+			var total NamespaceShardRow
+			for _, s := range shards {
+				total.NamingLive += s.NamingLive
+				total.NamingDead += s.NamingDead
+				total.FileAttLive += s.FileAttLive
+				total.FileAttDead += s.FileAttDead
+				total.Lookups += s.Lookups
+				total.Hits += s.Hits
+				total.Inserts += s.Inserts
+				total.Removes += s.Removes
+				total.Renames += s.Renames
+				total.CrossRenames += s.CrossRenames
+				total.LockWaits += s.LockWaits
+				out = append(out, namespaceRow(fmt.Sprintf("%02d", s.Shard), s))
+			}
+			out = append(out, namespaceRow("all", total))
+			return out, nil
+		},
+	}
+}
+
+func namespaceRow(label string, s NamespaceShardRow) []value.V {
+	return []value.V{
+		value.Str(label),
+		value.Int(s.NamingOID),
+		value.Int(s.FileAttOID),
+		value.Int(s.NamingLive),
+		value.Int(s.NamingDead),
+		value.Int(s.FileAttLive),
+		value.Int(s.FileAttDead),
+		value.Int(s.Lookups),
+		value.Int(s.Hits),
+		value.Int(s.Inserts),
+		value.Int(s.Removes),
+		value.Int(s.Renames),
+		value.Int(s.CrossRenames),
+		value.Int(s.LockWaits),
+	}
+}
+
 // NewColumnsCatalog returns inv_columns, the meta-catalog: one row per
 // column of every registered virtual relation, so clients (invql \dv)
 // can discover the catalogs over the wire with a plain query. It reads

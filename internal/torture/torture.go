@@ -78,6 +78,22 @@ type FileExpect struct {
 	Content    []byte
 	CommitTime int64
 	AckIndex   int
+
+	// MovedFrom, when non-empty, marks this expect as the outcome of a
+	// committed rename: the file was created at MovedFrom (by the commit
+	// described by FromCommitTime/FromAckIndex) and moved to Path by the
+	// commit described by CommitTime/AckIndex. The two paths may live in
+	// different namespace shards, so the invariant is two-shard
+	// atomicity: once the rename is durable the content is byte-exact at
+	// Path and MovedFrom does not exist; before that, the content is
+	// visible at exactly one of the two paths — never both, never (after
+	// the create is durable) neither, and never partially. A workload
+	// recording a move expect must not also record a plain expect for
+	// MovedFrom. Fields absent from old repro bundles gob-decode to zero
+	// values, which read as "not a move".
+	MovedFrom      string
+	FromCommitTime int64
+	FromAckIndex   int
 }
 
 // Bundle is a self-contained repro for one failing crash state: the

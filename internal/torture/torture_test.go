@@ -80,6 +80,48 @@ func TestTortureCheckpoint(t *testing.T) {
 	assertClean(t, mustRun(t, smokeCfg(t, "checkpoint")))
 }
 
+// TestTortureNamespace enumerates crash states of the partitioned-
+// namespace workload: concurrent directory-crossing renames on an
+// eight-shard volume, each verified for two-shard atomicity (content at
+// exactly one of the two names at every crash state), plus the
+// mkdir/unlink storm the structural scrub walks. It also sanity-checks
+// the trace actually spans multiple shard relation sets — otherwise the
+// cross-shard path was never recorded and the run proves nothing.
+func TestTortureNamespace(t *testing.T) {
+	assertClean(t, mustRun(t, smokeCfg(t, "namespace")))
+
+	ops, _, exps, err := RecordTrace("namespace", 42, BreakNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := map[device.OID]bool{}
+	for _, op := range ops {
+		if op.Kind == device.RecWrite {
+			rels[op.Rel] = true
+		}
+	}
+	shardRels := 0
+	for rel := range rels {
+		if rel >= 20 && rel < 100 {
+			shardRels++
+		}
+	}
+	if shardRels == 0 {
+		t.Fatalf("namespace trace touched no non-legacy shard relations: %v", rels)
+	}
+	moves := 0
+	for _, e := range exps {
+		if e.MovedFrom != "" {
+			moves++
+		}
+	}
+	if moves == 0 {
+		t.Fatalf("namespace workload recorded no move expects")
+	}
+	t.Logf("namespace trace: %d ops, %d shard relations written, %d move expects",
+		len(ops), shardRels, moves)
+}
+
 // TestTortureExhaustiveMini runs the full cartesian product over the
 // two-commit trace: every crash prefix and every legal per-page
 // write-survival combination, deduplicated by image signature. All of

@@ -68,7 +68,17 @@ func verifyOpen(sw *device.Switch, crashIndex int, exps []FileExpect, withScrub 
 	defer db.Crash()
 
 	sess := db.NewSession("torture")
-	for _, g := range groupExpects(exps) {
+	var plain []FileExpect
+	for _, e := range exps {
+		if e.MovedFrom != "" {
+			if err := verifyMove(sess, e, crashIndex); err != nil {
+				return err
+			}
+			continue
+		}
+		plain = append(plain, e)
+	}
+	for _, g := range groupExpects(plain) {
 		if err := verifyPath(sess, g, crashIndex); err != nil {
 			return err
 		}
@@ -178,6 +188,93 @@ func verifyPath(sess *core.Session, vers []FileExpect, crashIndex int) error {
 	if _, err := sess.StatAsOf(path, 1); !errors.Is(err, core.ErrNotExist) {
 		return fmt.Errorf("%s: visible as of time 1 — committed transaction with no commit time (err=%v)",
 			path, err)
+	}
+	return nil
+}
+
+// verifyMove checks one committed-rename expectation: a file created at
+// e.MovedFrom and renamed to e.Path, the two possibly in different
+// namespace shards. The rename is a two-shard transactional move
+// (delete the naming row in the source shard, insert in the
+// destination shard, one commit record), so the invariant is
+// atomicity across the shard pair at every crash state.
+func verifyMove(sess *core.Session, e FileExpect, crashIndex int) error {
+	renameAcked := e.AckIndex >= 0 && e.AckIndex <= crashIndex
+	createAcked := e.FromAckIndex >= 0 && e.FromAckIndex <= crashIndex
+
+	newData, newErr := sess.ReadFile(e.Path)
+	if newErr != nil && !errors.Is(newErr, core.ErrNotExist) {
+		return fmt.Errorf("%s: unexpected read error: %w", e.Path, newErr)
+	}
+	oldData, oldErr := sess.ReadFile(e.MovedFrom)
+	if oldErr != nil && !errors.Is(oldErr, core.ErrNotExist) {
+		return fmt.Errorf("%s: unexpected read error: %w", e.MovedFrom, oldErr)
+	}
+	// Whichever path is visible must carry the full content — a partial
+	// file at either end is a torn commit regardless of ack state.
+	if newErr == nil && !bytes.Equal(newData, e.Content) {
+		return fmt.Errorf("%s: torn content after rename: %d bytes, want %d",
+			e.Path, len(newData), len(e.Content))
+	}
+	if oldErr == nil && !bytes.Equal(oldData, e.Content) {
+		return fmt.Errorf("%s: torn content at rename source: %d bytes, want %d",
+			e.MovedFrom, len(oldData), len(e.Content))
+	}
+
+	switch {
+	case renameAcked:
+		// The acked rename is durable: content at the destination only.
+		if newErr != nil {
+			return fmt.Errorf("%s: acked rename lost (created at %s): %w", e.Path, e.MovedFrom, newErr)
+		}
+		if oldErr == nil {
+			return fmt.Errorf("rename not atomic: %s still visible alongside %s", e.MovedFrom, e.Path)
+		}
+		// Time travel across the move: the file is readable at the source
+		// as of the create and at the destination as of the rename, and
+		// the destination name did not exist the instant before the
+		// rename committed.
+		if old, err := sess.ReadFileAsOf(e.MovedFrom, e.FromCommitTime); err != nil {
+			return fmt.Errorf("%s: pre-rename version as of t=%d unreadable: %w", e.MovedFrom, e.FromCommitTime, err)
+		} else if !bytes.Equal(old, e.Content) {
+			return fmt.Errorf("%s: pre-rename version as of t=%d has %d bytes, want %d",
+				e.MovedFrom, e.FromCommitTime, len(old), len(e.Content))
+		}
+		if now, err := sess.ReadFileAsOf(e.Path, e.CommitTime); err != nil {
+			return fmt.Errorf("%s: renamed version as of t=%d unreadable: %w", e.Path, e.CommitTime, err)
+		} else if !bytes.Equal(now, e.Content) {
+			return fmt.Errorf("%s: renamed version as of t=%d has %d bytes, want %d",
+				e.Path, e.CommitTime, len(now), len(e.Content))
+		}
+		if _, err := sess.StatAsOf(e.Path, e.CommitTime-1); !errors.Is(err, core.ErrNotExist) {
+			return fmt.Errorf("%s: exists before the rename committed (t=%d): err=%v",
+				e.Path, e.CommitTime-1, err)
+		}
+	case createAcked:
+		// Create durable, rename maybe: the content lives at exactly one
+		// of the two names. Both visible is a half-applied move (the
+		// destination shard's insert landed without the source shard's
+		// delete); neither visible loses an acked commit.
+		if oldErr == nil && newErr == nil {
+			return fmt.Errorf("rename not atomic: %s and %s both visible", e.MovedFrom, e.Path)
+		}
+		if oldErr != nil && newErr != nil {
+			return fmt.Errorf("%s: acked create lost (rename to %s unacked): %w", e.MovedFrom, e.Path, oldErr)
+		}
+	default:
+		// Nothing acked: each commit is still all-or-nothing, so at most
+		// one name is visible (the torn-content checks above already
+		// rejected partial states).
+		if oldErr == nil && newErr == nil {
+			return fmt.Errorf("rename not atomic: %s and %s both visible (neither commit acked)", e.MovedFrom, e.Path)
+		}
+	}
+
+	// Zero-commit-time guard for both names.
+	for _, p := range []string{e.MovedFrom, e.Path} {
+		if _, err := sess.StatAsOf(p, 1); !errors.Is(err, core.ErrNotExist) {
+			return fmt.Errorf("%s: visible as of time 1 — committed transaction with no commit time (err=%v)", p, err)
+		}
 	}
 	return nil
 }

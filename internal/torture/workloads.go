@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -35,9 +36,24 @@ type Workload struct {
 //   - "checkpoint": checkpoint advancement racing commits, plus an
 //     overwrite history on one shared path to exercise multi-version
 //     time travel across crash states.
+//   - "namespace": an eight-way hash-partitioned namespace under a
+//     mkdir/unlink storm plus concurrent directory-crossing renames.
+//     A rename between directories in different shards is a two-shard
+//     transactional move (delete in one relation set, insert in
+//     another, one commit record); every crash state must observe it
+//     atomically — content at exactly one of the two names, never
+//     both, never neither once acked.
 func Workloads() []Workload {
 	return []Workload{
 		{Name: "mini", Drive: driveMini},
+		{
+			Name: "namespace",
+			Opts: core.Options{
+				NamespaceShards:   8,
+				GroupCommitWindow: 2 * time.Millisecond,
+			},
+			Drive: driveNamespace,
+		},
 		{
 			Name: "groupcommit",
 			Opts: core.Options{GroupCommitWindow: 2 * time.Millisecond},
@@ -146,6 +162,151 @@ func overwriteFile(db *core.DB, path string, data []byte) (txn.XID, error) {
 		return txn.InvalidXID, err
 	}
 	return tx.ID(), tx.Commit()
+}
+
+// mkdirTx creates one directory in its own transaction.
+func mkdirTx(db *core.DB, path string) error {
+	tx, err := db.Manager().Begin()
+	if err != nil {
+		return err
+	}
+	if _, err := db.MkdirTx(tx, path, "torture"); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// renameTx moves oldPath to newPath in its own transaction.
+func renameTx(db *core.DB, oldPath, newPath string) (txn.XID, error) {
+	tx, err := db.Manager().Begin()
+	if err != nil {
+		return txn.InvalidXID, err
+	}
+	if err := db.RenameTx(tx, oldPath, newPath); err != nil {
+		tx.Abort()
+		return txn.InvalidXID, err
+	}
+	return tx.ID(), tx.Commit()
+}
+
+// driveNamespace: cross-shard rename atomicity on a partitioned
+// namespace. Six directories spread (by parent-OID hash) across eight
+// shards; a mkdir/unlink storm churns naming rows in several shards;
+// then four files are created and concurrently renamed into different
+// directories — at N=8 most of those moves cross shards, so the commit
+// record covers naming deletes and inserts in different relation sets.
+// Each rename is recorded as a move expect (MovedFrom), which
+// VerifyState checks for two-shard atomicity at every crash state. The
+// recovered database is opened without an explicit shard count, so
+// every crash state also proves the bootstrap-persisted count routes
+// recovery to the right shards.
+func driveNamespace(db *core.DB, rec *device.Recorder, seed int64) ([]FileExpect, error) {
+	const dirs = 6
+	for d := 0; d < dirs; d++ {
+		if err := mkdirTx(db, fmt.Sprintf("/nd%d", d)); err != nil {
+			return nil, err
+		}
+	}
+	// Storm: one transaction scatters scratch files across the
+	// directories, a second unlinks half of them — naming rows with
+	// stamped xmax in several shards, no expected survivors to track
+	// (the structural scrub still walks them on every crash state).
+	tx, err := db.Manager().Begin()
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d < dirs; d++ {
+		f, err := db.CreateTx(tx, fmt.Sprintf("/nd%d/scratch%d", d, d), "torture", "", "", 0)
+		if err != nil {
+			tx.Abort()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	tx, err = db.Manager().Begin()
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d < dirs; d += 2 {
+		if err := db.UnlinkTx(tx, fmt.Sprintf("/nd%d/scratch%d", d, d)); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	// The moves: create sequentially (so every rename has a durable
+	// source), then rename concurrently under the commit window, each
+	// into a different directory than its source.
+	const moves = 4
+	type created struct {
+		oldPath, newPath string
+		content          []byte
+		commitTime       int64
+		ackIndex         int
+	}
+	var cs [moves]created
+	for i := 0; i < moves; i++ {
+		c := &cs[i]
+		c.oldPath = fmt.Sprintf("/nd%d/src%d", i, i)
+		c.newPath = fmt.Sprintf("/nd%d/dst%d", (i+3)%dirs, i)
+		c.content = fileContent(seed, c.oldPath, 250+i*150)
+		xid, err := commitFile(db, c.oldPath, c.content)
+		if err != nil {
+			return nil, err
+		}
+		c.commitTime = db.Manager().CommitTime(xid)
+		c.ackIndex = rec.Len()
+	}
+	ex := &expects{}
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < moves; i++ {
+		wg.Add(1)
+		go func(c *created) {
+			defer wg.Done()
+			// Two moves touching the same directory pair in opposite
+			// orders can deadlock on the directories' attribute rows;
+			// the loser retries, like any client would.
+			xid, err := renameTx(db, c.oldPath, c.newPath)
+			for errors.Is(err, txn.ErrDeadlock) {
+				xid, err = renameTx(db, c.oldPath, c.newPath)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rename %s -> %s: %w", c.oldPath, c.newPath, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			t := db.Manager().CommitTime(xid)
+			ai := rec.Len()
+			ex.mu.Lock()
+			ex.list = append(ex.list, FileExpect{
+				Path:           c.newPath,
+				Content:        c.content,
+				CommitTime:     t,
+				AckIndex:       ai,
+				MovedFrom:      c.oldPath,
+				FromCommitTime: c.commitTime,
+				FromAckIndex:   c.ackIndex,
+			})
+			ex.mu.Unlock()
+		}(&cs[i])
+	}
+	wg.Wait()
+	return ex.list, firstErr
 }
 
 // driveMini: two sequential sub-chunk commits. The whole trace is a few

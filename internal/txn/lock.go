@@ -192,10 +192,19 @@ func (m *LockManager) wouldDeadlockLocked(waiter XID, blockers map[XID]bool) boo
 // Re-acquiring a lock already held at equal or stronger mode is a
 // no-op; holding Shared and asking for Exclusive is an upgrade.
 func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
+	_, err := m.AcquireWaited(xid, tag, mode)
+	return err
+}
+
+// AcquireWaited is Acquire plus a report of whether the request had to
+// queue behind a conflicting holder — callers that attribute contention
+// to a resource (per-shard lock-wait counters) need the distinction;
+// the aggregate Waits counter cannot say where the wait happened.
+func (m *LockManager) AcquireWaited(xid XID, tag LockTag, mode LockMode) (waited bool, err error) {
 	m.mu.Lock()
 	if cur, ok := m.held[xid][tag]; ok && cur >= mode {
 		m.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	ls := m.locks[tag]
 	if ls == nil {
@@ -205,7 +214,7 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 	if m.grantableLocked(ls, xid, mode) {
 		m.recordLocked(xid, tag, mode, ls)
 		m.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	// Must wait. Compute blockers and check for deadlock first.
 	blockers := make(map[XID]bool)
@@ -219,7 +228,7 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 	}
 	if m.wouldDeadlockLocked(xid, blockers) {
 		m.mu.Unlock()
-		return ErrDeadlock
+		return false, ErrDeadlock
 	}
 	w := &lockWaiter{xid: xid, mode: mode, ready: make(chan error, 1)}
 	ls.queue = append(ls.queue, w)
@@ -233,13 +242,13 @@ func (m *LockManager) Acquire(xid XID, tag LockTag, mode LockMode) error {
 	if h != nil || sp != nil {
 		t0 = time.Now()
 	}
-	err := <-w.ready
+	err = <-w.ready
 	if h != nil || sp != nil {
 		d := int64(time.Since(t0))
 		h.Observe(d)
 		sp.AddLockWait(d)
 	}
-	return err
+	return true, err
 }
 
 // ReleaseAll drops every lock xid holds and wakes newly grantable

@@ -34,6 +34,11 @@ const (
 //	8..11  reservedXID: all XIDs below this may have been handed out
 //	12..15 checkpointXID: every XID below this has its final status
 //	       durably on the device (see Checkpoint)
+//	16..19 namespaceShards: how many namespace shards this volume was
+//	       bootstrapped with. 0 means the legacy single-shard layout
+//	       (the field is only ever written for shard counts above one,
+//	       so single-shard volumes stay byte-identical to images
+//	       written before the field existed).
 //
 // A page slot may be nil: pages wholly below the checkpoint are not
 // read at open (recovery stays O(recent), not O(history)) and are
@@ -50,6 +55,7 @@ type Log struct {
 	dirtyT   map[int]bool
 	reserved XID
 	ckpt     XID
+	fresh    bool // this OpenLog created the volume (bootstrap ran)
 
 	lazyLoads int64 // pages faulted in below the checkpoint (tests/metrics)
 	forces    int64 // successful full forces
@@ -95,6 +101,7 @@ func OpenLog(dev device.Manager) (*Log, error) {
 		binary.LittleEndian.PutUint64(ctrl[0:], logMagic)
 		l.status = append(l.status, ctrl)
 		l.dirtyS[0] = true
+		l.fresh = true
 		l.reserved = BootstrapXID + 1
 		l.setReserved(l.reserved)
 		l.setStatus(BootstrapXID, StatusCommitted)
@@ -300,6 +307,36 @@ func (l *Log) CheckpointXID() XID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.ckpt
+}
+
+// Bootstrapped reports whether this OpenLog created the volume — the
+// database layer uses it to distinguish "fresh volume, apply the
+// requested bootstrap parameters" from "existing volume, honor what
+// the control page says".
+func (l *Log) Bootstrapped() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fresh
+}
+
+// NamespaceShards reads the shard count persisted in the control page.
+// 0 means the field was never written: a legacy single-shard volume.
+func (l *Log) NamespaceShards() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return binary.LittleEndian.Uint32(l.status[0][16:])
+}
+
+// SetNamespaceShards persists the shard count in the control page and
+// forces it. Called exactly once, at bootstrap of an n>1 volume —
+// single-shard volumes never write the field, which keeps their control
+// page byte-identical to images written before it existed.
+func (l *Log) SetNamespaceShards(n uint32) error {
+	l.mu.Lock()
+	binary.LittleEndian.PutUint32(l.status[0][16:], n)
+	l.dirtyS[0] = true
+	l.mu.Unlock()
+	return l.Force()
 }
 
 // LazyLoads reports how many log pages were faulted in below the

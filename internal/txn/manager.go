@@ -231,14 +231,23 @@ func (tx *Tx) OnEnd(f func(committed bool)) {
 // release. The post-check closes that window: if the end was claimed
 // while the lock was being granted, the grant is revoked.
 func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
+	_, err := tx.LockWaited(tag, mode)
+	return err
+}
+
+// LockWaited is Lock plus a report of whether the acquisition had to
+// queue behind a conflicting holder, so callers can charge the wait to
+// the resource being locked (per-shard namespace counters).
+func (tx *Tx) LockWaited(tag LockTag, mode LockMode) (waited bool, err error) {
 	tx.mu.Lock()
 	ended := tx.ending
 	tx.mu.Unlock()
 	if ended {
-		return ErrTxDone
+		return false, ErrTxDone
 	}
-	if err := tx.mgr.locks.Acquire(tx.id, tag, mode); err != nil {
-		return err
+	waited, err = tx.mgr.locks.AcquireWaited(tx.id, tag, mode)
+	if err != nil {
+		return waited, err
 	}
 	tx.mu.Lock()
 	ended = tx.ending
@@ -248,9 +257,9 @@ func (tx *Tx) Lock(tag LockTag, mode LockMode) error {
 		// this grant; releasing here is either the missing cleanup or a
 		// harmless no-op racing the end's own ReleaseAll.
 		tx.mgr.locks.ReleaseAll(tx.id)
-		return ErrTxDone
+		return waited, ErrTxDone
 	}
-	return nil
+	return waited, nil
 }
 
 // Commit makes the transaction's changes durable and visible through

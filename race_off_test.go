@@ -1,0 +1,6 @@
+//go:build !race
+
+package repro
+
+// raceEnabled is false in non-race builds; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Real-sleep scaling floors use it to skip: race
+// instrumentation inflates the CPU half of the workload 10-20x, which
+// both blows the CI race budget and distorts the CPU-vs-device-sleep
+// ratio the floors assert on. The concurrency those floors exercise is
+// still race-checked by the cheap smoke tests that run in every mode.
+const raceEnabled = true
