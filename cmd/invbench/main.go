@@ -41,15 +41,45 @@ func main() {
 		all      = flag.Bool("all", false, "run everything")
 		sizeMB   = flag.Int64("size", 25, "created file size in MB")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
+		flight   = flag.String("flight", "",
+			"run a wait-event sampler for the whole run and dump the flight-recorder bundle (timeline + wait profile) to this file at exit")
 	)
 	flag.Parse()
 	if !*table3 && !*local && !*ablate && !*scale && !*commit && !*meta && !*all && *fig == 0 {
 		*all = true
 	}
-	if err := run(*fig, *table3, *local, *ablate, *scale, *commit, *meta, *all, *sizeMB, *jsonPath); err != nil {
+	var sampler *obs.WaitSampler
+	if *flight != "" {
+		sampler = obs.NewWaitSampler(obs.DefaultWaitSamplingInterval, nil)
+		sampler.Start()
+	}
+	err := run(*fig, *table3, *local, *ablate, *scale, *commit, *meta, *all, *sizeMB, *jsonPath)
+	if *flight != "" {
+		sampler.Stop()
+		if ferr := dumpFlight(*flight, sampler.Snapshot()); ferr != nil {
+			fmt.Fprintln(os.Stderr, "invbench: flight dump:", ferr)
+		} else {
+			fmt.Printf("wrote flight-recorder bundle to %s\n", *flight)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "invbench:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpFlight writes the benchmark run's flight bundle: the recent
+// span/lifecycle timeline plus the whole-run wait profile.
+func dumpFlight(path string, profile obs.WaitProfile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.Flight().WriteBundle(f, "invbench", &profile)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // jsonReport is the -json output shape: the simulated Table 3 grid next

@@ -55,6 +55,10 @@ func main() {
 			"namespace shard count for a fresh volume: naming/fileatt metadata is hash-partitioned by parent directory across this many relation sets (0 = unpartitioned legacy layout; fixed at bootstrap — reopening an existing volume with a different non-zero count is refused)")
 		shardClasses = flag.String("shard-classes", "",
 			"comma-separated device classes to round-robin the namespace shards across (shard i lands on class i mod len; empty = default class for every shard)")
+		waitSampling = flag.Duration("wait-sampling", inversion.DefaultWaitSamplingInterval,
+			"wait-event sampler interval feeding the inv_wait_events catalog and /metrics (0 disables sampling; blocking sites then cost one atomic load)")
+		flightDump = flag.String("flight-dump", "",
+			"path the flight-recorder bundle is written to on handler panic, scrub-on-start failure, or SIGUSR1 (empty = invd-flight-<pid>.json in the working directory)")
 	)
 	flag.Parse()
 	opts := inversion.Options{
@@ -63,19 +67,49 @@ func main() {
 		CheckpointEvery:   *ckptEvery,
 		GroupCommitWindow: *commitWindow,
 		NamespaceShards:   *shards,
+		WaitSampling:      *waitSampling,
 	}
 	if *shardClasses != "" {
 		for _, c := range strings.Split(*shardClasses, ",") {
 			opts.ShardClasses = append(opts.ShardClasses, strings.TrimSpace(c))
 		}
 	}
-	if err := run(*addr, opts, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp, *scrubOnStart); err != nil {
+	if err := run(*addr, opts, *devices, *dflt, *data, *idle, *grace, *metricsAddr, *slowOp, *scrubOnStart, *flightDump); err != nil {
 		fmt.Fprintln(os.Stderr, "invd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opts inversion.Options, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration, scrubOnStart bool) error {
+// dumpFlight writes the flight-recorder bundle (plus the current wait
+// profile, when a database is up) to the configured path. Best-effort:
+// it runs on the way down from panics and failed scrubs, so errors are
+// logged, never returned.
+func dumpFlight(path, reason string, db *inversion.DB) {
+	if path == "" {
+		path = fmt.Sprintf("invd-flight-%d.json", os.Getpid())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("invd: flight dump: %v", err)
+		return
+	}
+	var profile *inversion.WaitProfile
+	if db != nil {
+		p := db.WaitProfile()
+		profile = &p
+	}
+	err = inversion.DumpFlight(f, reason, profile)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Printf("invd: flight dump: %v", err)
+		return
+	}
+	log.Printf("invd: flight recorder dumped to %s (%s)", path, reason)
+}
+
+func run(addr string, opts inversion.Options, devices, dflt, data string, idle, grace time.Duration, metricsAddr string, slowOp time.Duration, scrubOnStart bool, flightDump string) error {
 	var (
 		db      *inversion.DB
 		fd      *inversion.FileDiskDevice
@@ -136,6 +170,7 @@ func run(addr string, opts inversion.Options, devices, dflt, data string, idle, 
 			for _, p := range rep.Problems {
 				log.Printf("invd: scrub: %s", p)
 			}
+			dumpFlight(flightDump, "scrub-on-start", db)
 			return fmt.Errorf("scrub-on-start: database is not clean (%d media faults, %d problems)",
 				len(rep.Media.Corrupt), len(rep.Problems))
 		}
@@ -147,6 +182,9 @@ func run(addr string, opts inversion.Options, devices, dflt, data string, idle, 
 		IdleTimeout: idle,
 		GracePeriod: grace,
 		SlowOp:      slowOp,
+		PanicHook: func(op string, recovered any) {
+			dumpFlight(flightDump, fmt.Sprintf("panic in %s", op), db)
+		},
 	})
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -167,9 +205,19 @@ func run(addr string, opts inversion.Options, devices, dflt, data string, idle, 
 			}
 		}()
 		defer hs.Close()
-		log.Printf("invd: metrics on http://%s/metrics (pprof at /debug/pprof/, traces at /traces/recent)",
+		log.Printf("invd: metrics on http://%s/metrics (pprof at /debug/pprof/, traces at /traces/recent and /traces/by-id, flight recorder at /debug/flight)",
 			mln.Addr())
 	}
+
+	// SIGUSR1 dumps the flight recorder on demand — the live-incident
+	// escape hatch when the HTTP endpoint is not configured.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			dumpFlight(flightDump, "SIGUSR1", db)
+		}
+	}()
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

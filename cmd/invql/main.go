@@ -49,7 +49,7 @@ func run(addr, cmd string) error {
 		// the process exits nonzero, so scripts can branch on it.
 		return exec(c, cmd)
 	}
-	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | \\d | \\dv | quit")
+	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | \\d | \\dv | \\waits | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("* ")
 	for sc.Scan() {
@@ -75,13 +75,15 @@ var metaCommands = map[string]string{
 		from r in inv_relations sort by r.oid`,
 	`\dv`: `retrieve (c.relation, c.column, c.type, c.doc)
 		from c in inv_columns sort by c.relation`,
+	`\waits`: `retrieve (w.class, w.event, w.op, w.relation, w.samples)
+		from w in inv_wait_events sort by w.samples`,
 }
 
 func exec(c *inversion.Client, q string) error {
 	if meta, ok := metaCommands[strings.TrimSpace(q)]; ok {
 		q = meta
 	} else if strings.HasPrefix(strings.TrimSpace(q), `\`) {
-		return fmt.Errorf(`unknown command %q (try \d, \dv, or \q)`, q)
+		return fmt.Errorf(`unknown command %q (try \d, \dv, \waits, or \q)`, q)
 	}
 	res, err := c.Query(q)
 	if err != nil {

@@ -3,6 +3,8 @@ package buffer
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The background writer moves eviction writebacks off the foreground:
@@ -102,10 +104,13 @@ func (p *Pool) StartBackgroundWriter(cfg BGConfig) (stop func()) {
 		ticker := time.NewTicker(ivl)
 		defer ticker.Stop()
 		for {
+			w := obs.BeginWaitLoop(obs.WaitBGWriterIdle, "bgwriter")
 			select {
 			case <-bg.stop:
+				w.End()
 				return
 			case <-bg.kick:
+				w.End()
 				// High watermark: drain to the low watermark in
 				// bounded slices, re-checking stop between slices so
 				// shutdown never waits on a long drain.
@@ -120,6 +125,7 @@ func (p *Pool) StartBackgroundWriter(cfg BGConfig) (stop func()) {
 					}
 				}
 			case <-ticker.C:
+				w.End()
 				// Trickle: keep the dirty set small even under light
 				// load, so a commit force and the next checkpoint have
 				// little left to write.
@@ -149,6 +155,7 @@ func (p *Pool) bgFlush(limit int) bool {
 	n, err := p.flushFrames(p.snapshotDirty(nil, limit), true)
 	if n > 0 {
 		p.bgRounds.Add(1)
+		obs.Flight().RecordLifecycle("bgwriter_flush", "", 0, int64(n))
 	}
 	if err != nil {
 		p.bgErrors.Add(1)

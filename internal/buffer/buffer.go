@@ -83,14 +83,30 @@ type Frame struct {
 	loadErr  error
 }
 
-// Lock latches the frame's contents for writing.
-func (f *Frame) Lock() { f.mu.Lock() }
+// Lock latches the frame's contents for writing. The try-fast-path
+// keeps the uncontended case free of wait-event bookkeeping; only an
+// actual block publishes a frame-latch wait.
+func (f *Frame) Lock() {
+	if f.mu.TryLock() {
+		return
+	}
+	w := obs.BeginWait(obs.WaitFrameLatch, "")
+	f.mu.Lock()
+	w.End()
+}
 
 // Unlock releases the write latch.
 func (f *Frame) Unlock() { f.mu.Unlock() }
 
 // RLock latches the frame's contents for reading; readers share.
-func (f *Frame) RLock() { f.mu.RLock() }
+func (f *Frame) RLock() {
+	if f.mu.TryRLock() {
+		return
+	}
+	w := obs.BeginWait(obs.WaitFrameLatch, "")
+	f.mu.RLock()
+	w.End()
+}
 
 // RUnlock releases the read latch.
 func (f *Frame) RUnlock() { f.mu.RUnlock() }
@@ -362,9 +378,11 @@ func (p *Pool) makeRoom() error {
 			if o != nil || sp != nil {
 				w0 = time.Now()
 			}
+			wev := obs.BeginWait(obs.WaitBackendWrite, "")
 			f.mu.RLock()
 			err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 			f.mu.RUnlock()
+			wev.End()
 			if o != nil || sp != nil {
 				d := int64(time.Since(w0))
 				if o != nil {
@@ -438,7 +456,9 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 				if sp != nil {
 					w0 = time.Now()
 				}
+				wev := obs.BeginWait(obs.WaitBufLoad, "")
 				<-ch
+				wev.End()
 				if sp != nil {
 					sp.AddBufLoad(int64(time.Since(w0)))
 				}
@@ -492,7 +512,9 @@ func (p *Pool) Get(rel device.OID, pageNo uint32) (*Frame, error) {
 			if o != nil || sp != nil {
 				l0 = time.Now()
 			}
+			wev := obs.BeginWait(obs.WaitBackendRead, "")
 			err = p.backend.ReadPage(rel, pageNo, f.Data)
+			wev.End()
 			if o != nil || sp != nil {
 				d := int64(time.Since(l0))
 				if o != nil {
@@ -655,9 +677,11 @@ func (p *Pool) flushFrames(dirty []*Frame, background bool) (int, error) {
 		if o != nil || sp != nil {
 			w0 = time.Now()
 		}
+		wev := obs.BeginWait(obs.WaitBackendWrite, "")
 		f.mu.RLock()
 		err := p.backend.WritePage(f.Key.Rel, f.Key.Page, f.Data)
 		f.mu.RUnlock()
+		wev.End()
 		if o != nil || sp != nil {
 			d := int64(time.Since(w0))
 			if o != nil {

@@ -122,6 +122,16 @@ type Options struct {
 	// when a shard's relations are first created; empty means
 	// DefaultClass for every shard.
 	ShardClasses []string
+	// WaitSampling, when positive, runs a wait-event sampler at this
+	// wall-clock interval: every blocking site (lock parks, page loads,
+	// latches, log forces, background loops) publishes what it is
+	// waiting on, and the sampler accumulates the (event, op, relation)
+	// profile served by the inv_wait_events catalog, the waitprofile
+	// wire op, and /metrics. Off by default: with no sampler attached,
+	// every instrumented site is a single atomic load, and the
+	// simulated-clock benchmark digits are untouched either way (the
+	// sampler never reads the virtual clock).
+	WaitSampling time.Duration
 }
 
 // FileFunc is a user-defined function over a file, executed inside the
@@ -161,7 +171,8 @@ type DB struct {
 	stopBG   func()        // background writer, when started
 	stopCkpt chan struct{} // closed to stop the checkpointer
 	ckptWg   sync.WaitGroup
-	closeMu  sync.Mutex // Close is idempotent on the goroutines
+	sampler  *obs.WaitSampler // wait-event sampler, when configured
+	closeMu  sync.Mutex       // Close is idempotent on the goroutines
 }
 
 // maxVacuumRuns bounds the in-memory vacuum history inv_vacuum serves.
@@ -274,6 +285,7 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	db.views.Register(sysview.NewVacuum(db.vacuumRuns))
 	db.views.Register(sysview.NewStatTxn(db.metrics, mgr, pool))
 	db.views.Register(sysview.NewStatNamespace(db.namespaceRows))
+	db.views.Register(sysview.NewWaitEvents(db.WaitProfile))
 	db.views.Register(sysview.NewColumnsCatalog(db.views))
 
 	// Optional background machinery. Both are wall-clock paced, so the
@@ -281,6 +293,10 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	// recovery behave exactly as before this machinery existed.
 	if opts.BackgroundWriter {
 		db.stopBG = pool.StartBackgroundWriter(opts.BGWriter)
+	}
+	if opts.WaitSampling > 0 {
+		db.sampler = obs.NewWaitSampler(opts.WaitSampling, db.metrics)
+		db.sampler.Start()
 	}
 	if opts.CheckpointEvery > 0 {
 		db.stopCkpt = make(chan struct{})
@@ -290,14 +306,24 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 			ticker := time.NewTicker(opts.CheckpointEvery)
 			defer ticker.Stop()
 			for {
+				w := obs.BeginWaitLoop(obs.WaitCheckpointIdle, "checkpointer")
 				select {
 				case <-db.stopCkpt:
+					w.End()
 					return
 				case <-ticker.C:
+					w.End()
 					// Errors are deliberately dropped: a failed
 					// checkpoint leaves the previous (still correct)
 					// checkpoint in place, and the next tick retries.
-					_ = db.mgr.Checkpoint()
+					t0 := time.Now()
+					err := db.mgr.Checkpoint()
+					detail := ""
+					if err != nil {
+						detail = "error: " + err.Error()
+					}
+					obs.Flight().RecordLifecycle("checkpoint", detail,
+						int64(time.Since(t0)), 1)
 				}
 			}
 		}()
@@ -625,6 +651,19 @@ func (db *DB) stopBackground() {
 		db.ckptWg.Wait()
 		db.stopCkpt = nil
 	}
+	if db.sampler != nil {
+		db.sampler.Stop()
+		db.sampler = nil
+	}
+}
+
+// WaitProfile reports the accumulated wait-event profile (zero when no
+// sampler is configured).
+func (db *DB) WaitProfile() obs.WaitProfile {
+	db.closeMu.Lock()
+	s := db.sampler
+	db.closeMu.Unlock()
+	return s.Snapshot()
 }
 
 // Close flushes every dirty page and forces the devices, leaving the

@@ -5,14 +5,47 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
 )
+
+// writeJSON renders v indented with the JSON content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// TraceByID stitches every span of one trace (32-hex id) out of the
+// flight recorder, oldest-first. The flight ring sees every finished
+// request — unlike the slowest-N trace ring — so a multi-op
+// transaction's begin/op/commit spans all appear as long as they are
+// recent enough to still be in the ring.
+func TraceByID(id string) []SpanData {
+	spans := []SpanData{}
+	for _, ev := range Flight().Events() {
+		if ev.Kind == "span" && ev.Span != nil && ev.Span.TraceID == id {
+			spans = append(spans, *ev.Span)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].StartUnixNs < spans[j].StartUnixNs
+	})
+	return spans
+}
 
 // Handler serves the operational endpoint behind `invd -metrics-addr`:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/debug/pprof/*  the standard Go profiles
-//	/traces/recent  JSON ring of the slowest recent requests
+//	/traces/recent  slowest recent requests: {"cursor": N, "spans": [...]}
+//	                with optional ?op=, ?min_ms=, and ?after=<cursor>
+//	                filters so scrapers can tail without re-reading
+//	/traces/by-id   ?id=<32-hex trace id>: every span of one trace,
+//	                stitched from the flight recorder, oldest-first
+//	/debug/flight   the flight-recorder bundle, dumped on demand
 //
 // refresh, if non-nil, runs before each registry read so gauges that
 // mirror derived state (cache capacity, catalog sizes, MVCC horizon)
@@ -31,14 +64,59 @@ func Handler(reg *Registry, ring *TraceRing, refresh func()) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		spans := ring.Slowest()
-		if spans == nil {
-			spans = []SpanData{}
+		q := r.URL.Query()
+		var minNs int64
+		if v := q.Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad min_ms: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			minNs = int64(ms * 1e6)
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(spans)
+		var after uint64
+		if v := q.Get("after"); v != "" {
+			var err error
+			after, err = strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad after: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		op := q.Get("op")
+		spans := []SpanData{}
+		for _, d := range ring.Slowest() {
+			if op != "" && d.Op != op {
+				continue
+			}
+			if d.WallNs < minNs {
+				continue
+			}
+			if d.Seq <= after {
+				continue
+			}
+			spans = append(spans, d)
+		}
+		writeJSON(w, struct {
+			Cursor uint64     `json:"cursor"`
+			Spans  []SpanData `json:"spans"`
+		}{ring.Cursor(), spans})
+	})
+	mux.HandleFunc("/traces/by-id", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id (32-hex trace id)", http.StatusBadRequest)
+			return
+		}
+		spans := TraceByID(id)
+		writeJSON(w, struct {
+			TraceID string     `json:"trace_id"`
+			Spans   []SpanData `json:"spans"`
+		}{id, spans})
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Flight().WriteBundle(w, "http", nil)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

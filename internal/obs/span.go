@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Span is the per-request cost ledger. The wire server creates one per
@@ -27,6 +29,19 @@ type Span struct {
 	txnID   atomic.Uint64
 	rel     atomic.Pointer[string]
 	outcome atomic.Pointer[string]
+
+	// Trace context: set once by the server before the span is
+	// activated (never concurrently), read when the span is flattened.
+	// TraceHi/TraceLo form the 128-bit trace id shared by every op of a
+	// logical client transaction; SpanID names this request within it;
+	// ParentSpan is the client-side root span that minted the trace;
+	// Attempt counts client retries of the same logical op (0 = first
+	// try); Sampled carries the client's sampling decision.
+	TraceHi, TraceLo uint64
+	SpanID           uint64
+	ParentSpan       uint64
+	Attempt          uint8
+	Sampled          bool
 
 	BytesIn  int64
 	BytesOut atomic.Int64
@@ -63,6 +78,18 @@ func (s *Span) SetRel(name string) {
 		return
 	}
 	s.rel.Store(&name)
+}
+
+// RelName reports the relation the span was attributed to ("" if none
+// yet).
+func (s *Span) RelName() string {
+	if s == nil {
+		return ""
+	}
+	if p := s.rel.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // SetOutcome records the final disposition (ok, error code, panic,
@@ -161,6 +188,16 @@ func (s *Span) Data() SpanData {
 	if p := s.outcome.Load(); p != nil {
 		d.Outcome = *p
 	}
+	if s.TraceHi != 0 || s.TraceLo != 0 {
+		d.TraceID = fmt.Sprintf("%016x%016x", s.TraceHi, s.TraceLo)
+	}
+	if s.SpanID != 0 {
+		d.SpanID = fmt.Sprintf("%016x", s.SpanID)
+	}
+	if s.ParentSpan != 0 {
+		d.ParentSpan = fmt.Sprintf("%016x", s.ParentSpan)
+	}
+	d.Attempt = int(s.Attempt)
 	return d
 }
 
@@ -170,6 +207,11 @@ type SpanData struct {
 	Txn         uint64 `json:"txn,omitempty"`
 	Rel         string `json:"rel,omitempty"`
 	Outcome     string `json:"outcome"`
+	TraceID     string `json:"trace_id,omitempty"`
+	SpanID      string `json:"span_id,omitempty"`
+	ParentSpan  string `json:"parent_span_id,omitempty"`
+	Attempt     int    `json:"attempt,omitempty"`
+	Seq         uint64 `json:"seq,omitempty"`
 	BytesIn     int64  `json:"bytes_in"`
 	BytesOut    int64  `json:"bytes_out"`
 	StartUnixNs int64  `json:"start_unix_ns"`
@@ -212,14 +254,25 @@ func goid() int64 {
 
 // Activate binds s to the calling goroutine until Deactivate. Nested
 // activation is not supported (the server activates exactly one span
-// per request).
+// per request). Activate(nil) is equivalent to Deactivate: it removes
+// the goroutine's slot from the goid map, so cleanup paths (including
+// panic recovery) may call it unconditionally without leaking the slot
+// — a leaked slot would pin spanCount above zero forever, making every
+// charge site in the process pay the goid parse for the rest of its
+// life.
 func Activate(s *Span) {
 	if s == nil {
+		Deactivate()
 		return
 	}
 	spanCount.Add(1)
 	active.Store(goid(), s)
 }
+
+// ActiveSpanCount reports how many spans are bound to goroutines
+// process-wide. Zero means every charge site is on the one-atomic-load
+// fast path; tests use it to prove span slots do not leak.
+func ActiveSpanCount() int64 { return spanCount.Load() }
 
 // Deactivate unbinds the calling goroutine's span.
 func Deactivate() {
@@ -240,11 +293,52 @@ func Active() *Span {
 	return nil
 }
 
+// spanIDSeed randomizes minted ids across process restarts without
+// consulting anything but the wall clock once at startup. The virtual
+// benchmark clock is never involved.
+var (
+	spanIDSeed = uint64(time.Now().UnixNano())
+	spanIDSeq  atomic.Uint64
+)
+
+// mix64 is splitmix64's finalizer: cheap, stateless, and good enough to
+// make sequential ids look unrelated.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewSpanID mints a process-unique non-zero 64-bit span id.
+func NewSpanID() uint64 {
+	for {
+		if id := mix64(spanIDSeed + spanIDSeq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID mints a 128-bit trace id as two halves. Servers use it
+// for requests that arrive without a client trace context, so every
+// span belongs to some trace.
+func NewTraceID() (hi, lo uint64) {
+	return NewSpanID(), NewSpanID()
+}
+
 // TraceRing keeps the slowest N recently finished spans, for the
 // /traces/recent endpoint. Record is O(N) under a mutex but only runs
 // once per finished request, on requests slow enough to matter.
+//
+// Every offered span consumes a sequence number whether or not it is
+// kept; the ring's cursor is the last consumed number, so a scraper
+// that remembers the cursor can ask "anything recorded since?" and
+// tail the ring without re-reading entries it has already seen.
 type TraceRing struct {
 	mu    sync.Mutex
+	seq   uint64
 	cap   int
 	spans []SpanData
 }
@@ -265,6 +359,8 @@ func (r *TraceRing) Record(d SpanData) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.seq++
+	d.Seq = r.seq
 	if len(r.spans) < r.cap {
 		r.spans = append(r.spans, d)
 		return
@@ -279,6 +375,18 @@ func (r *TraceRing) Record(d SpanData) {
 	if d.WallNs >= r.spans[min].WallNs {
 		r.spans[min] = d
 	}
+}
+
+// Cursor reports the sequence number of the most recently recorded
+// span (0 if none). Spans with Seq > a remembered cursor were recorded
+// after it.
+func (r *TraceRing) Cursor() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
 }
 
 // Slowest returns the ring's contents sorted slowest-first.

@@ -311,6 +311,8 @@ func NewTraces(ring *obs.TraceRing) VirtualRel {
 			{"bytes_in", value.KindInt, "request payload bytes"},
 			{"bytes_out", value.KindInt, "reply payload bytes"},
 			{"start_unix_ns", value.KindInt, "wall-clock request start"},
+			{"trace_id", value.KindString, "trace the request belongs to"},
+			{"attempt", value.KindInt, "client retry attempt (0 = first try)"},
 		},
 		rows: func() ([][]value.V, error) {
 			spans := ring.Slowest()
@@ -331,6 +333,41 @@ func NewTraces(ring *obs.TraceRing) VirtualRel {
 					value.Int(d.BytesIn),
 					value.Int(d.BytesOut),
 					value.Int(d.StartUnixNs),
+					value.Str(d.TraceID),
+					value.Int(int64(d.Attempt)),
+				})
+			}
+			return out, nil
+		},
+	}
+}
+
+// NewWaitEvents returns inv_wait_events: the sampled wait-event profile
+// (pg_wait_sampling's profile view). Each row is one (class, event, op,
+// relation) combination with the number of sampler rounds that caught a
+// goroutine waiting there. Empty until a sampler is configured
+// (Options.WaitSampling).
+func NewWaitEvents(profile func() obs.WaitProfile) VirtualRel {
+	return &funcRel{
+		name: "inv_wait_events",
+		doc:  "sampled wait-event profile: where goroutines block, by event, op, and relation",
+		cols: []Column{
+			{"class", value.KindString, "event class (Lock, LWLock, BufferIO, IO, IPC, Timeout, Activity)"},
+			{"event", value.KindString, "wait event name"},
+			{"op", value.KindString, "wire op or background loop that was waiting"},
+			{"relation", value.KindString, "relation the wait is attributed to"},
+			{"samples", value.KindInt, "sampler rounds that observed this wait"},
+		},
+		rows: func() ([][]value.V, error) {
+			p := profile()
+			out := make([][]value.V, 0, len(p.Rows))
+			for _, r := range p.Rows {
+				out = append(out, []value.V{
+					value.Str(r.Class),
+					value.Str(r.Event),
+					value.Str(r.Op),
+					value.Str(r.Rel),
+					value.Int(int64(r.Samples)),
 				})
 			}
 			return out, nil

@@ -80,7 +80,9 @@ func (m *Manager) commit(xid XID, t int64) (error, bool) {
 		return m.lead(req), true
 	}
 	g.mu.Unlock()
+	w := obs.BeginWait(obs.WaitGroupCommit, "")
 	res := <-req.out
+	w.End()
 	if res.promote {
 		return m.lead(req), true
 	}
@@ -111,6 +113,7 @@ func (m *Manager) lead(own *commitReq) error {
 	// window is bounded and default-off (sync-bound deployments opt in).
 	if w := m.CommitWindow; w > 0 {
 		deadline := time.Now().Add(w)
+		wev := obs.BeginWait(obs.WaitCommitWindow, "")
 		for {
 			m.mu.RLock()
 			live := len(m.live)
@@ -124,9 +127,11 @@ func (m *Manager) lead(own *commitReq) error {
 			g.pending = nil
 			g.mu.Unlock()
 		}
+		wev.End()
 	}
 
 	err := m.forceBatch(batch)
+	obs.Flight().RecordLifecycle("group_commit", "", 0, int64(len(batch)))
 
 	g.mu.Lock()
 	if len(g.pending) > 0 {

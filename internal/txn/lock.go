@@ -2,6 +2,7 @@ package txn
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -242,7 +243,18 @@ func (m *LockManager) AcquireWaited(xid XID, tag LockTag, mode LockMode) (waited
 	if h != nil || sp != nil {
 		t0 = time.Now()
 	}
+	// Publish the park as a wait event. The relation comes from the
+	// lock tag, not the span: at OpenTx the lock is taken before the
+	// span learns which relation it is touching, so during the park the
+	// tag is the only attribution available. Data relations are named
+	// "inv<oid>" (core.DataRelName's format).
+	var rel string
+	if tag.Space == SpaceRelation {
+		rel = "inv" + strconv.FormatUint(uint64(tag.Rel), 10)
+	}
+	wev := obs.BeginWait(obs.WaitLockAcquire, rel)
 	err = <-w.ready
+	wev.End()
 	if h != nil || sp != nil {
 		d := int64(time.Since(t0))
 		h.Observe(d)

@@ -479,13 +479,21 @@ func (l *Log) CommitTime(x XID) int64 {
 // sites, so forces outside commit (XID-ceiling reservation during
 // Begin) show up in per-request attribution too.
 func (l *Log) Force() error {
-	sp := obs.Active()
-	if sp == nil {
-		return l.force()
-	}
+	// Forces are device-bound (a sync barrier each), so the wall-clock
+	// read and the flight-recorder entry per force are noise; the
+	// always-on timeline of forces is what makes a post-crash bundle
+	// explain a stalled commit.
+	w := obs.BeginWait(obs.WaitLogForce, "")
 	t0 := time.Now()
 	err := l.force()
-	sp.AddCommitForce(int64(time.Since(t0)))
+	d := int64(time.Since(t0))
+	w.End()
+	obs.Active().AddCommitForce(d)
+	outcome := ""
+	if err != nil {
+		outcome = "error: " + err.Error()
+	}
+	obs.Flight().RecordLifecycle("log_force", outcome, d, 1)
 	return err
 }
 

@@ -105,6 +105,13 @@ type Client struct {
 	txLost bool // the conn died mid-tx; fail mutations until the next bracketing op
 	rng    *rand.Rand
 
+	// Current trace context: minted at Begin and shared by every op in
+	// the transaction's bracket, so the server stitches a multi-op
+	// transaction into one trace. Ops outside a transaction mint a
+	// fresh single-op trace per call.
+	traceHi, traceLo uint64
+	rootSpan         uint64
+
 	// connMu guards conn and closed separately from mu so Close never
 	// waits behind a call that is blocked on a stalled server or
 	// sleeping out a reconnect backoff: closing the live conn unblocks
@@ -226,7 +233,7 @@ func (c *Client) retryable(op byte) bool {
 		return true
 	}
 	switch op {
-	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2, OpScrub:
+	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2, OpScrub, OpWaitProfile:
 		return true
 	}
 	return false
@@ -314,11 +321,25 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			c.txLost = false
 			return nil, nil
 		}
-	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2, OpScrub:
+	case OpStat, OpReadDir, OpCall, OpStats, OpStatsV2, OpScrub, OpWaitProfile:
 		// Idempotent reads; safe whether or not the transaction is lost.
 	default:
 		if c.txLost {
 			return nil, fmt.Errorf("wire: transaction lost: %w", ErrConnLost)
+		}
+	}
+
+	// Trace context: Begin mints the trace the whole transaction
+	// bracket will share; ops outside a transaction are each their own
+	// single-op trace. The context is fixed before the retry loop, so a
+	// retried op keeps its trace id across reconnects — only the
+	// attempt byte changes.
+	tc := traceCtx{Hi: c.traceHi, Lo: c.traceLo, Parent: c.rootSpan, Sampled: true}
+	if op == OpBegin || !c.inTx {
+		tc.Hi, tc.Lo = c.rng.Uint64()|1, c.rng.Uint64()
+		tc.Parent = c.rng.Uint64() | 1
+		if op == OpBegin {
+			c.traceHi, c.traceLo, c.rootSpan = tc.Hi, tc.Lo, tc.Parent
 		}
 	}
 
@@ -350,7 +371,14 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			}
 			conn = fresh
 		}
-		resp, err := c.roundTrip(conn, op, payload)
+		if attempt > 255 {
+			tc.Attempt = 255
+		} else {
+			tc.Attempt = byte(attempt)
+		}
+		framed := appendTraceCtx(make([]byte, 0, traceCtxLen+len(payload)), tc)
+		framed = append(framed, payload...)
+		resp, err := c.roundTrip(conn, op|opTraceFlag, framed)
 		var remote *RemoteError
 		if err == nil || errors.As(err, &remote) {
 			// The server answered; the connection is healthy.
@@ -642,6 +670,16 @@ func (c *Client) StatsV2() (obs.Snapshot, error) {
 		return obs.Snapshot{}, err
 	}
 	return obs.DecodeSnapshot(resp)
+}
+
+// WaitProfile fetches the server's accumulated wait-event profile
+// (empty when the server runs without a wait sampler).
+func (c *Client) WaitProfile() (obs.WaitProfile, error) {
+	resp, err := c.call(OpWaitProfile, nil)
+	if err != nil {
+		return obs.WaitProfile{}, err
+	}
+	return obs.DecodeWaitProfile(resp)
 }
 
 // Vacuum runs the vacuum cleaner on the server.

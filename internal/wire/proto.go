@@ -44,6 +44,7 @@ const (
 	OpSetType
 	OpStatsV2
 	OpScrub
+	OpWaitProfile
 )
 
 // opNames labels opcodes for metrics and traces. Indexed by opcode.
@@ -56,6 +57,7 @@ var opNames = [...]string{
 	OpQuery: "query", OpCall: "call", OpDefineType: "deftype",
 	OpMigrate: "migrate", OpVacuum: "vacuum", OpStats: "stats",
 	OpSetType: "settype", OpStatsV2: "statsv2", OpScrub: "scrub",
+	OpWaitProfile: "waitprofile",
 }
 
 // OpName reports the metric label for an opcode ("op<N>" if unknown).
@@ -64,6 +66,61 @@ func OpName(op byte) string {
 		return opNames[op]
 	}
 	return fmt.Sprintf("op%d", op)
+}
+
+// opTraceFlag is the high bit of a request's op byte. When set, the
+// payload begins with a fixed-size trace context (traceCtxLen bytes)
+// ahead of the op's own payload. Opcodes stay below 0x80, so the flag
+// never collides with a real op, and servers that predate it reject
+// the unknown op loudly instead of misparsing the payload.
+const opTraceFlag byte = 0x80
+
+// traceCtx is the trace context a client attaches to each request:
+// the 128-bit trace id shared by every op of a logical transaction,
+// the client-side parent span that minted it, a sampled flag, and an
+// attempt counter so a retried op is visibly the same logical op on
+// its Nth try rather than a fresh one.
+type traceCtx struct {
+	Hi, Lo  uint64
+	Parent  uint64
+	Sampled bool
+	Attempt uint8
+}
+
+// traceCtxLen is the encoded size: 3×u64 + flags byte + attempt byte.
+const traceCtxLen = 26
+
+// appendTraceCtx prepends nothing — it appends the encoded context to
+// dst (callers build the full payload as ctx || op payload).
+func appendTraceCtx(dst []byte, tc traceCtx) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, tc.Hi)
+	dst = binary.LittleEndian.AppendUint64(dst, tc.Lo)
+	dst = binary.LittleEndian.AppendUint64(dst, tc.Parent)
+	var flags byte
+	if tc.Sampled {
+		flags = 1
+	}
+	return append(dst, flags, tc.Attempt)
+}
+
+// splitTraceCtx strips the trace flag and context (if present) off an
+// incoming request, returning the bare op and the op's own payload.
+func splitTraceCtx(op byte, payload []byte) (byte, []byte, traceCtx, bool, error) {
+	if op&opTraceFlag == 0 {
+		return op, payload, traceCtx{}, false, nil
+	}
+	if len(payload) < traceCtxLen {
+		return op, payload, traceCtx{}, false,
+			fmt.Errorf("wire: truncated trace context (%d bytes)", len(payload))
+	}
+	tc := traceCtx{
+		Hi:      binary.LittleEndian.Uint64(payload[0:8]),
+		Lo:      binary.LittleEndian.Uint64(payload[8:16]),
+		Parent:  binary.LittleEndian.Uint64(payload[16:24]),
+		Sampled: payload[24]&1 != 0,
+		Attempt: payload[25],
+	}
+	return op &^ opTraceFlag, payload[traceCtxLen:], tc, true, nil
 }
 
 // Response status codes.

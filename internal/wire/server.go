@@ -48,6 +48,11 @@ type ServerConfig struct {
 	SlowOp time.Duration
 	// TraceRingSize caps the recent-traces ring (default 32).
 	TraceRingSize int
+	// PanicHook, if set, runs after a handler panic has been recovered
+	// and logged, with the op name and the recovered value. invd uses it
+	// to dump the flight recorder, so the crash bundle is written while
+	// the timeline still ends at the panicking op.
+	PanicHook func(op string, recovered any)
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -126,7 +131,7 @@ func NewServerWith(db *core.DB, cfg ServerConfig) *Server {
 		ring:  obs.NewTraceRing(cfg.TraceRingSize),
 	}
 	reg := db.Obs()
-	for op := OpBegin; op <= OpScrub; op++ {
+	for op := OpBegin; op <= OpWaitProfile; op++ {
 		s.opNs[op] = reg.Histogram("wire.op." + OpName(op) + "_ns")
 	}
 	s.devSimNs = reg.Histogram("device.sim_ns")
@@ -202,10 +207,13 @@ func (s *Server) reapLoop() {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
+		w := obs.BeginWaitLoop(obs.WaitReaperIdle, "reaper")
 		select {
 		case <-s.quit:
+			w.End()
 			return
 		case <-t.C:
+			w.End()
 			s.reapOnce(time.Now())
 		}
 	}
@@ -373,8 +381,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		op, payload, tc, hasTC, tcErr := splitTraceCtx(op, payload)
+		if tcErr != nil {
+			if werr := s.writeReply(conn, statusErr, errFrame(tcErr)); werr != nil {
+				return
+			}
+			continue
+		}
 
 		sp := obs.NewSpan(OpName(op))
+		// Bind the request into a trace: forward the client's context
+		// when present, mint a fresh trace otherwise, and name this
+		// request with a server-side span id either way.
+		if hasTC {
+			sp.TraceHi, sp.TraceLo = tc.Hi, tc.Lo
+			sp.ParentSpan = tc.Parent
+			sp.Attempt = tc.Attempt
+			sp.Sampled = tc.Sampled
+		} else {
+			sp.TraceHi, sp.TraceLo = obs.NewTraceID()
+		}
+		sp.SpanID = obs.NewSpanID()
 		sp.BytesIn = int64(len(payload))
 		sp.StartUnixNs = time.Now().UnixNano()
 		s.requests.Inc()
@@ -399,13 +426,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		sc.busy = true
 		sc.mu.Unlock()
 
-		// The span is active exactly for the handler: every layer below
-		// (locks, buffer pool, simulated devices) charges obs.Active().
-		obs.Activate(sp)
 		t0 := time.Now()
-		resp, panicked, err := s.handleSafe(st, op, payload)
+		resp, panicked, err := s.handleSafe(sp, st, op, payload)
 		sp.WallNs.Store(int64(time.Since(t0)))
-		obs.Deactivate()
 
 		sc.mu.Lock()
 		sc.busy = false
@@ -458,6 +481,7 @@ func (s *Server) recordSpan(sp *obs.Span, op byte) {
 	}
 	data := sp.Data()
 	s.ring.Record(data)
+	obs.Flight().RecordSpan(data)
 	if s.cfg.SlowOp > 0 && wall >= int64(s.cfg.SlowOp) {
 		s.logf("inversion: slow op %s (%s): wall=%s lock=%s load=%s write=%s force=%s devsim=%s txn=%d rel=%q buf=%d/%d h/m",
 			data.Op, data.Outcome, obs.FormatNs(wall),
@@ -468,12 +492,26 @@ func (s *Server) recordSpan(sp *obs.Span, op byte) {
 	}
 }
 
-// handleSafe runs one request, converting a handler panic into an error
-// so a single poisoned request cannot kill the server process.
-func (s *Server) handleSafe(st *connState, op byte, payload []byte) (resp []byte, panicked bool, err error) {
+// handleSafe runs one request with its span active, converting a
+// handler panic into an error so a single poisoned request cannot kill
+// the server process.
+func (s *Server) handleSafe(sp *obs.Span, st *connState, op byte, payload []byte) (resp []byte, panicked bool, err error) {
+	// The span is active exactly for the handler: every layer below
+	// (locks, buffer pool, simulated devices) charges obs.Active().
+	// Unbinding is deferred — via Activate(nil), the documented cleanup
+	// form — so it runs even when the handler panics: a slot that
+	// survived a panic would pin the active-span count above zero and
+	// make every charge site in the process pay the goid lookup
+	// forever.
+	obs.Activate(sp)
+	defer obs.Activate(nil)
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("inversion: handler panic (op %d): %v\n%s", op, r, debug.Stack())
+			obs.Flight().RecordMarker("panic", fmt.Sprintf("op %s: %v", OpName(op), r))
+			if s.cfg.PanicHook != nil {
+				s.cfg.PanicHook(OpName(op), r)
+			}
 			resp, panicked, err = nil, true, fmt.Errorf("wire: internal server error: %v", r)
 		}
 	}()
@@ -788,6 +826,11 @@ func (s *Server) handle(st *connState, op byte, payload []byte) ([]byte, error) 
 		// are refreshed so the snapshot is current.
 		s.db.RefreshObsGauges()
 		return obs.EncodeSnapshot(s.db.Obs().Snapshot()), nil
+	case OpWaitProfile:
+		// The accumulated wait-event profile (empty when no sampler is
+		// configured), so client tooling can ask "what has the server
+		// been waiting on" without scraping HTTP.
+		return obs.EncodeWaitProfile(s.db.WaitProfile()), nil
 	case OpScrub:
 		// The full integrity pass (media, B-trees, namespace, chunks,
 		// txn log), exposed as an operator command.

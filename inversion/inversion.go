@@ -37,6 +37,7 @@
 package inversion
 
 import (
+	"io"
 	"net/http"
 	"time"
 
@@ -149,7 +150,32 @@ type (
 	// TraceRing keeps the slowest recent request traces; reach a
 	// server's via Server.Traces().
 	TraceRing = obs.TraceRing
+	// WaitProfile is the sampled wait-event profile (where goroutines
+	// block, by event, op, and relation); reach a database's via
+	// DB.WaitProfile() or a served one's via Client.WaitProfile().
+	WaitProfile = obs.WaitProfile
+	// WaitProfileRow is one (class, event, op, relation) wait bucket.
+	WaitProfileRow = obs.WaitProfileRow
+	// FlightBundle is a dumped flight-recorder snapshot: the recent
+	// span/wait/lifecycle timeline plus an optional wait profile.
+	FlightBundle = obs.FlightBundle
 )
+
+// DefaultWaitSamplingInterval is the sampler interval the daemon uses
+// when wait sampling is enabled without an explicit interval.
+const DefaultWaitSamplingInterval = obs.DefaultWaitSamplingInterval
+
+// DumpFlight writes the process's flight-recorder bundle (version,
+// reason, recent timeline, optional wait profile) as indented JSON.
+func DumpFlight(w io.Writer, reason string, profile *WaitProfile) error {
+	return obs.Flight().WriteBundle(w, reason, profile)
+}
+
+// ParseFlightBundle decodes a bundle produced by DumpFlight (or the
+// daemon's /debug/flight endpoint and crash dumps).
+func ParseFlightBundle(b []byte) (FlightBundle, error) {
+	return obs.ParseFlightBundle(b)
+}
 
 // FormatMetrics renders a snapshot for terminals: stable sorted
 // counters and gauges, then one line per histogram with count, mean,
