@@ -43,8 +43,20 @@ func main() {
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		flight   = flag.String("flight", "",
 			"run a wait-event sampler for the whole run and dump the flight-recorder bundle (timeline + wait profile) to this file at exit")
+		regress       = flag.Bool("regress", false, "load -regress-input into a throwaway volume's metrics-history relations and run the engine's regression detector over every bench series")
+		regressInput  = flag.String("regress-input", "BENCH_smoke.json", "bench -json report to check in -regress mode")
+		regressInject = flag.Float64("regress-inject", 0,
+			"self-test: multiply every series by this factor in one synthetic tick and fail unless the detector flags all of them (0 disables)")
+		regressStrict = flag.Bool("regress-strict", false, "exit nonzero when -regress flags a real slowdown (default is warn-only)")
 	)
 	flag.Parse()
+	if *regress {
+		if err := runRegress(*regressInput, *regressInject, *regressStrict); err != nil {
+			fmt.Fprintln(os.Stderr, "invbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*table3 && !*local && !*ablate && !*scale && !*commit && !*meta && !*all && *fig == 0 {
 		*all = true
 	}

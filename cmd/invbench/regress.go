@@ -1,0 +1,142 @@
+// Regression detection over the metrics-history relations: -regress
+// loads a machine-readable bench report (the BENCH_smoke.json that CI's
+// bench step writes) into a throwaway in-memory volume's inv_history /
+// inv_history_samples relations as a trajectory of ticks, then runs
+// DB.CheckRegression over every bench.table3.* series. The detector
+// lives in the engine — this command only feeds it and reports.
+//
+// Two modes:
+//
+//	invbench -regress -regress-input BENCH_smoke.json
+//	    warn-only: prints every series with its latest/baseline ratio
+//	    and flags slowdowns, but exits 0 (CI should not go red on a
+//	    noisy benchmark delta). -regress-strict makes flags fatal.
+//
+//	invbench -regress -regress-input BENCH_smoke.json -regress-inject 2
+//	    self-test: appends one synthetic tick with every value
+//	    multiplied by the factor and REQUIRES the detector to flag all
+//	    of them. Exits 1 if any slips through — so CI proves the
+//	    detector works before trusting its silence.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/inversion"
+)
+
+// regressBaselineTicks is how many baseline ticks the loader replays
+// before the "latest" tick, matching DB.CheckRegression's default
+// window count.
+const regressBaselineTicks = 5
+
+// regressSamples flattens a report's Table 3 grid into named history
+// samples: one series per (configuration, operation) cell, seconds as
+// the value. Sorted so tick contents are deterministic.
+func regressSamples(jr *jsonReport) []obs.HistorySample {
+	var out []obs.HistorySample
+	for cfg, row := range jr.Table3Seconds {
+		for op, s := range row {
+			out = append(out, obs.HistorySample{
+				Name:  fmt.Sprintf("bench.table3.%s.%s_s", cfg, op),
+				Kind:  obs.SampleGauge,
+				Value: s,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// runRegress is the -regress entry point. inject > 0 switches to
+// self-test mode; strict makes warn-only flags fatal.
+func runRegress(input string, inject float64, strict bool) error {
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var jr jsonReport
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		return fmt.Errorf("%s: %w", input, err)
+	}
+	base := regressSamples(&jr)
+	if len(base) == 0 {
+		return fmt.Errorf("%s: no table3_seconds grid to check (run invbench -table3 -json %s first)", input, input)
+	}
+
+	// A throwaway in-memory volume: history enabled, ticks appended by
+	// hand. The hour interval keeps the background recorder quiet.
+	sw := inversion.NewDeviceSwitch()
+	sw.Register(inversion.NewMemDevice(nil, 0))
+	db, err := inversion.Open(sw, inversion.Options{
+		Buffers:        128,
+		MetricsHistory: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	// Replay the report as a trajectory: baseline ticks one simulated
+	// minute apart, then the tick under test (injected slowdown in
+	// self-test mode, the report itself otherwise).
+	const tickSpacing = time.Minute
+	wall := time.Now().Add(-time.Duration(regressBaselineTicks) * tickSpacing)
+	for i := 0; i < regressBaselineTicks; i++ {
+		if _, err := db.AppendHistoryTick(wall.UnixNano(), int64(tickSpacing), base); err != nil {
+			return err
+		}
+		wall = wall.Add(tickSpacing)
+	}
+	latest := base
+	if inject > 0 {
+		latest = make([]obs.HistorySample, len(base))
+		copy(latest, base)
+		for i := range latest {
+			latest[i].Value *= inject
+		}
+	}
+	if _, err := db.AppendHistoryTick(wall.UnixNano(), int64(tickSpacing), latest); err != nil {
+		return err
+	}
+
+	mode := "warn-only"
+	if inject > 0 {
+		mode = fmt.Sprintf("self-test (injected %.2gx slowdown)", inject)
+	}
+	fmt.Printf("Regression check over %d series from %s (%s):\n", len(base), input, mode)
+	var flagged, missed int
+	for _, s := range base {
+		res, err := db.CheckRegression(s.Name, regressBaselineTicks, 0)
+		if err != nil {
+			return err
+		}
+		mark := "  "
+		if res.Regressed {
+			mark = "▲ "
+			flagged++
+		} else if inject > 0 && res.Baseline > 0 {
+			missed++
+		}
+		fmt.Printf("  %s%-52s baseline %8.2fs  latest %8.2fs  ratio %.2fx\n",
+			mark, res.Series, res.Baseline, res.Latest, res.Ratio)
+	}
+	switch {
+	case inject > 0 && missed > 0:
+		return fmt.Errorf("regression self-test FAILED: %d injected slowdowns went unflagged", missed)
+	case inject > 0:
+		fmt.Printf("self-test passed: all %d injected slowdowns flagged\n", flagged)
+	case flagged > 0 && strict:
+		return fmt.Errorf("%d series regressed (strict mode)", flagged)
+	case flagged > 0:
+		fmt.Printf("warning: %d series regressed (warn-only; rerun with -regress-strict to fail)\n", flagged)
+	default:
+		fmt.Println("no regressions")
+	}
+	return nil
+}

@@ -59,6 +59,8 @@ func main() {
 			"wait-event sampler interval feeding the inv_wait_events catalog and /metrics (0 disables sampling; blocking sites then cost one atomic load)")
 		flightDump = flag.String("flight-dump", "",
 			"path the flight-recorder bundle is written to on handler panic, scrub-on-start failure, or SIGUSR1 (empty = invd-flight-<pid>.json in the working directory)")
+		metricsHistory = flag.Duration("metrics-history", 0,
+			"record the metrics registry into the inv_history/inv_history_samples relations at this interval, so statistics history is queryable (and time-travelable with asof, e.g. from invtop -asof) like any other data (0 disables; the relations are only created once enabled)")
 	)
 	flag.Parse()
 	opts := inversion.Options{
@@ -68,6 +70,7 @@ func main() {
 		GroupCommitWindow: *commitWindow,
 		NamespaceShards:   *shards,
 		WaitSampling:      *waitSampling,
+		MetricsHistory:    *metricsHistory,
 	}
 	if *shardClasses != "" {
 		for _, c := range strings.Split(*shardClasses, ",") {

@@ -8,7 +8,8 @@
 // Without -c it reads statements from stdin, one per line; "asof N" may
 // trail a retrieve to query the past. Meta-commands: \d lists heap and
 // index relations (from inv_relations), \dv lists the virtual system
-// catalogs and their columns (from inv_columns), \q quits.
+// catalogs and their columns (from inv_columns), \history lists the
+// recorded metrics-history series (from inv_history_meta), \q quits.
 package main
 
 import (
@@ -49,7 +50,7 @@ func run(addr, cmd string) error {
 		// the process exits nonzero, so scripts can branch on it.
 		return exec(c, cmd)
 	}
-	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | \\d | \\dv | \\waits | quit")
+	fmt.Println("Inversion POSTQUEL monitor — retrieve (...) where ... | define type ... | \\d | \\dv | \\waits | \\history | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("* ")
 	for sc.Scan() {
@@ -77,13 +78,15 @@ var metaCommands = map[string]string{
 		from c in inv_columns sort by c.relation`,
 	`\waits`: `retrieve (w.class, w.event, w.op, w.relation, w.samples)
 		from w in inv_wait_events sort by w.samples`,
+	`\history`: `retrieve (m.name, m.labels, m.kind, m.ticks, m.first_seq, m.last_seq, m.last_value)
+		from m in inv_history_meta sort by m.name`,
 }
 
 func exec(c *inversion.Client, q string) error {
 	if meta, ok := metaCommands[strings.TrimSpace(q)]; ok {
 		q = meta
 	} else if strings.HasPrefix(strings.TrimSpace(q), `\`) {
-		return fmt.Errorf(`unknown command %q (try \d, \dv, \waits, or \q)`, q)
+		return fmt.Errorf(`unknown command %q (try \d, \dv, \waits, \history, or \q)`, q)
 	}
 	res, err := c.Query(q)
 	if err != nil {

@@ -132,6 +132,19 @@ type Options struct {
 	// simulated-clock benchmark digits are untouched either way (the
 	// sampler never reads the virtual clock).
 	WaitSampling time.Duration
+	// MetricsHistory, when positive, runs the metrics-history recorder
+	// at this wall-clock interval: every tick the obs registry is
+	// diffed and appended into the inv_history/inv_history_samples
+	// system relations (created lazily at first enable), so the full
+	// query surface — including asof — works on the engine's own
+	// telemetry. Off by default: no relations are created and the
+	// simulated-clock benchmark digits are untouched (the recorder
+	// never reads the virtual clock).
+	MetricsHistory time.Duration
+	// HistoryBudget tunes history retention when MetricsHistory is
+	// enabled (zero values select the defaults: raw ticks 1h, 1-minute
+	// rollups 24h).
+	HistoryBudget HistoryBudget
 }
 
 // FileFunc is a user-defined function over a file, executed inside the
@@ -172,6 +185,7 @@ type DB struct {
 	stopCkpt chan struct{} // closed to stop the checkpointer
 	ckptWg   sync.WaitGroup
 	sampler  *obs.WaitSampler // wait-event sampler, when configured
+	hist     *historyRecorder // metrics-history recorder, when configured
 	closeMu  sync.Mutex       // Close is idempotent on the goroutines
 }
 
@@ -286,6 +300,7 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	db.views.Register(sysview.NewStatTxn(db.metrics, mgr, pool))
 	db.views.Register(sysview.NewStatNamespace(db.namespaceRows))
 	db.views.Register(sysview.NewWaitEvents(db.WaitProfile))
+	db.views.Register(sysview.NewHistoryMeta(db.historySeriesRows))
 	db.views.Register(sysview.NewColumnsCatalog(db.views))
 
 	// Optional background machinery. Both are wall-clock paced, so the
@@ -297,6 +312,10 @@ func Open(sw *device.Switch, opts Options) (*DB, error) {
 	if opts.WaitSampling > 0 {
 		db.sampler = obs.NewWaitSampler(opts.WaitSampling, db.metrics)
 		db.sampler.Start()
+	}
+	if opts.MetricsHistory > 0 {
+		db.hist = newHistoryRecorder(db, opts.MetricsHistory, opts.HistoryBudget)
+		db.hist.start()
 	}
 	if opts.CheckpointEvery > 0 {
 		db.stopCkpt = make(chan struct{})
@@ -637,9 +656,13 @@ func (db *DB) Stats() Stats {
 // control page, bounding the log pages the next recovery must read.
 func (db *DB) Checkpoint() error { return db.mgr.Checkpoint() }
 
-// stopBackground halts the background writer and checkpointer (if
-// started), waiting for both goroutines to exit. Idempotent.
+// stopBackground halts the history recorder, background writer, and
+// checkpointer (if started), waiting for every goroutine to exit.
+// Idempotent. The recorder is halted first — and outside closeMu,
+// which its ticks acquire via WaitProfile — so an in-flight recording
+// transaction aborts before the pool is torn down beneath it.
 func (db *DB) stopBackground() {
+	db.hist.halt()
 	db.closeMu.Lock()
 	defer db.closeMu.Unlock()
 	if db.stopBG != nil {

@@ -1,0 +1,731 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/rowenc"
+	"repro/internal/sysview"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Metrics history: the engine as its own observability backend. The
+// registry, trace ring, and flight recorder are all scrape-or-lose
+// state; here an opt-in recorder periodically diffs the registry (via
+// obs.HistoryDiffer) and appends the per-tick samples into two real
+// system relations, so the full POSTQUEL surface — including asof —
+// works on the system's own history, across its own crash recoveries.
+//
+// The recorder is wall-clock paced and never reads the virtual commit
+// clock (TimeSource): tick timestamps are observability truth, not
+// transaction time, and the simulated-clock benchmark digits must stay
+// byte-identical whether or not history is enabled. When disabled (the
+// default) the relations are never created and no recorder goroutine
+// exists.
+
+// Well-known OIDs for the metrics-history relations. Like the other
+// system OIDs they sit below FirstUserOID; the relations are created
+// lazily at first enable and registered in the system catalog, which
+// buys reopen re-placement, CheckMedia coverage, and inv_relations
+// visibility for free. They carry no naming rows, so they are invisible
+// to ReadDir, and their names differ from DataRelName(oid), so the
+// chunk-table vacuum loop and scrub's chunk checks skip them.
+const (
+	HistoryRel        device.OID = 17 // inv_history: one row per tick
+	HistorySamplesRel device.OID = 18 // inv_history_samples: tick × metric
+)
+
+// Names the history relations are catalogued (and queried) under.
+const (
+	HistoryRelName        = "inv_history"
+	HistorySamplesRelName = "inv_history_samples"
+)
+
+// Tick levels: raw recorder ticks and retention rollups.
+const (
+	HistoryLevelRaw    = 0
+	HistoryLevelRollup = 1
+)
+
+// ErrHistoryDisabled is returned by history APIs when the database was
+// opened without Options.MetricsHistory.
+var ErrHistoryDisabled = errors.New("inversion: metrics history not enabled")
+
+// HistoryBudget is the retention ladder: raw ticks are kept RawFor,
+// then aggregated into RollupEvery-wide level-1 ticks which are kept
+// RollupFor; everything older is deleted (and physically reclaimed by
+// the next vacuum). Zero fields select the defaults.
+type HistoryBudget struct {
+	RawFor      time.Duration // keep raw ticks this long (default 1h)
+	RollupEvery time.Duration // rollup window width (default 1m)
+	RollupFor   time.Duration // keep rollups this long (default 24h)
+}
+
+func (b HistoryBudget) withDefaults() HistoryBudget {
+	if b.RawFor <= 0 {
+		b.RawFor = time.Hour
+	}
+	if b.RollupEvery <= 0 {
+		b.RollupEvery = time.Minute
+	}
+	if b.RollupFor <= 0 {
+		b.RollupFor = 24 * time.Hour
+	}
+	return b
+}
+
+// HistoryTick is one inv_history row: the metadata of a recorded tick.
+// Dropped marks a tick whose predecessor(s) failed to record (the gap
+// before this tick lost data), so replay tools can render the hole
+// honestly instead of interpolating across it.
+type HistoryTick struct {
+	Seq        int64
+	WallNs     int64
+	IntervalNs int64
+	Level      uint32
+	Dropped    bool
+}
+
+func encodeHistoryTick(t HistoryTick) []byte {
+	var dropped uint32
+	if t.Dropped {
+		dropped = 1
+	}
+	return rowenc.NewWriter(40).
+		Int64(t.Seq).Int64(t.WallNs).Int64(t.IntervalNs).
+		Uint32(t.Level).Uint32(dropped).Done()
+}
+
+func decodeHistoryTick(b []byte) (HistoryTick, error) {
+	r := rowenc.NewReader(b)
+	t := HistoryTick{
+		Seq:        r.Int64(),
+		WallNs:     r.Int64(),
+		IntervalNs: r.Int64(),
+		Level:      r.Uint32(),
+	}
+	t.Dropped = r.Uint32() != 0
+	return t, r.Err()
+}
+
+func encodeHistorySample(seq int64, s obs.HistorySample) []byte {
+	return rowenc.NewWriter(48 + len(s.Name) + len(s.Labels)).
+		Int64(seq).String(s.Name).String(s.Labels).String(s.Kind).
+		Uint64(math.Float64bits(s.Value)).Done()
+}
+
+func decodeHistorySample(b []byte) (seq int64, s obs.HistorySample, err error) {
+	r := rowenc.NewReader(b)
+	seq = r.Int64()
+	s.Name = r.String()
+	s.Labels = r.String()
+	s.Kind = r.String()
+	s.Value = math.Float64frombits(r.Uint64())
+	return seq, s, r.Err()
+}
+
+// historyRecorder owns the recording goroutine and the tick sequence.
+// All mutation of history state (recorder ticks, the loader path, and
+// retention) runs under mu, so ticks never interleave.
+type historyRecorder struct {
+	db       *DB
+	interval time.Duration
+	budget   HistoryBudget
+	now      func() time.Time // wall clock; injectable in tests
+
+	mu      sync.Mutex
+	differ  *obs.HistoryDiffer
+	seq     int64 // last assigned tick seq
+	seqInit bool
+	dropped bool // a recording attempt failed since the last good tick
+
+	haltMu sync.Mutex // halt is idempotent and callable concurrently
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newHistoryRecorder(db *DB, interval time.Duration, budget HistoryBudget) *historyRecorder {
+	return &historyRecorder{
+		db:       db,
+		interval: interval,
+		budget:   budget.withDefaults(),
+		now:      time.Now,
+		differ:   obs.NewHistoryDiffer(),
+	}
+}
+
+func (r *historyRecorder) start() {
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.stop, r.done)
+}
+
+func (r *historyRecorder) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			// Errors are deliberately dropped: the failure is already
+			// accounted (ticks_dropped counter + the next tick's dropped
+			// flag), and the next tick retries.
+			_ = r.recordTick(stop)
+		}
+	}
+}
+
+// halt stops the recording goroutine and waits for it to exit; an
+// in-flight recording transaction aborts cleanly (recordTick checks
+// the stop channel before committing). Idempotent, and deliberately
+// NOT under DB.closeMu: recordTick calls DB.WaitProfile, which takes
+// closeMu, so stopBackground halts the recorder before acquiring it.
+func (r *historyRecorder) halt() {
+	if r == nil {
+		return
+	}
+	r.haltMu.Lock()
+	defer r.haltMu.Unlock()
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop = nil
+}
+
+// ensureHistoryRels creates the history relations under tx if this is
+// the first enable on this volume. Catalog registration makes them
+// reopen-persistent (the re-place loop in Open) and CheckMedia-covered.
+func (db *DB) ensureHistoryRels(tx *txn.Tx) error {
+	rels := []struct {
+		oid  device.OID
+		name string
+	}{
+		{HistoryRel, HistoryRelName},
+		{HistorySamplesRel, HistorySamplesRelName},
+	}
+	for _, r := range rels {
+		if _, ok := db.cat.RelationByOID(r.oid); ok {
+			continue
+		}
+		if _, err := db.cat.CreateRelationAt(tx, r.oid, r.name, db.opts.DefaultClass, catalog.KindHeap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initSeq resumes the tick sequence from the highest recorded seq, so
+// history written before a crash and history written after recovery
+// form one monotone series.
+func (r *historyRecorder) initSeq(snap *txn.Snapshot) error {
+	if r.seqInit {
+		return nil
+	}
+	var maxSeq int64
+	err := r.db.dataRel(HistoryRel).Scan(snap, func(_ heap.TID, payload []byte) (bool, error) {
+		t, err := decodeHistoryTick(payload)
+		if err != nil {
+			return false, err
+		}
+		if t.Seq > maxSeq {
+			maxSeq = t.Seq
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	r.seq = maxSeq
+	r.seqInit = true
+	return nil
+}
+
+// recordTick records one tick: refresh derived gauges, diff the
+// registry and wait profile, and append the tick row plus its samples
+// under one internal transaction. cancel, when closed before the
+// commit, aborts the in-flight transaction cleanly (bounded shutdown).
+// A failed attempt arms the dropped flag carried by the next tick that
+// does land.
+func (r *historyRecorder) recordTick(cancel <-chan struct{}) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	db := r.db
+	db.RefreshObsGauges()
+	samples := r.differ.Diff(db.metrics.Snapshot(), db.WaitProfile())
+	nowNs := r.now().UnixNano()
+
+	fail := func(err error) error {
+		r.dropped = true
+		db.metrics.Counter("history.ticks_dropped").Inc()
+		return err
+	}
+	tx, err := db.mgr.Begin()
+	if err != nil {
+		return fail(err)
+	}
+	if err := db.ensureHistoryRels(tx); err != nil {
+		abort(tx)
+		return fail(err)
+	}
+	if err := r.initSeq(tx.Snapshot()); err != nil {
+		abort(tx)
+		return fail(err)
+	}
+	seq := r.seq + 1
+	tick := HistoryTick{
+		Seq: seq, WallNs: nowNs, IntervalNs: int64(r.interval),
+		Level: HistoryLevelRaw, Dropped: r.dropped,
+	}
+	if _, err := db.dataRel(HistoryRel).Insert(tx.ID(), encodeHistoryTick(tick)); err != nil {
+		abort(tx)
+		return fail(err)
+	}
+	for _, s := range samples {
+		if _, err := db.dataRel(HistorySamplesRel).Insert(tx.ID(), encodeHistorySample(seq, s)); err != nil {
+			abort(tx)
+			return fail(err)
+		}
+	}
+	select {
+	case <-cancel:
+		abort(tx)
+		return nil
+	default:
+	}
+	if err := tx.Commit(); err != nil {
+		return fail(err)
+	}
+	r.seq = seq
+	r.dropped = false
+	db.metrics.Counter("history.ticks_recorded").Inc()
+
+	// Retention runs in its own transaction so a retention failure never
+	// takes the recorded tick down with it.
+	if err := r.retain(nowNs); err != nil {
+		db.metrics.Counter("history.retention_errors").Inc()
+	}
+	return nil
+}
+
+type tickAt struct {
+	t   HistoryTick
+	tid heap.TID
+}
+
+// retain enforces the retention ladder: raw ticks older than RawFor
+// are aggregated per RollupEvery window into level-1 ticks (counters
+// summed, gauges and quantiles averaged) and deleted; rollups older
+// than RollupFor are deleted outright. Deletion is MVCC deletion — a
+// concurrent reader's snapshot (or an asof inside the budget) still
+// sees the rows; physical reclaim belongs to vacuum. Caller holds mu.
+func (r *historyRecorder) retain(nowNs int64) error {
+	db := r.db
+	cutRaw := nowNs - int64(r.budget.RawFor)
+	cutRollup := nowNs - int64(r.budget.RollupFor)
+	win := int64(r.budget.RollupEvery)
+
+	tx, err := db.mgr.Begin()
+	if err != nil {
+		return err
+	}
+	snap := tx.Snapshot()
+	histRel := db.dataRel(HistoryRel)
+	sampRel := db.dataRel(HistorySamplesRel)
+
+	var expired []tickAt                // raw past RawFor and rollups past RollupFor
+	rollWindow := make(map[int64]int64) // raw seq → its rollup window start
+	windowTicks := make(map[int64][]tickAt)
+	err = histRel.Scan(snap, func(tid heap.TID, payload []byte) (bool, error) {
+		t, err := decodeHistoryTick(payload)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case t.Level == HistoryLevelRaw && t.WallNs < cutRaw:
+			at := tickAt{t, tid}
+			expired = append(expired, at)
+			w := t.WallNs - t.WallNs%win
+			rollWindow[t.Seq] = w
+			windowTicks[w] = append(windowTicks[w], at)
+		case t.Level == HistoryLevelRollup && t.WallNs < cutRollup:
+			expired = append(expired, tickAt{t, tid})
+		}
+		return false, nil
+	})
+	if err != nil {
+		abort(tx)
+		return err
+	}
+	if len(expired) == 0 {
+		abort(tx)
+		return nil
+	}
+
+	// One pass over the samples: aggregate expiring raw samples into
+	// their windows and collect every expiring tick's sample TIDs.
+	expiredSeq := make(map[int64]bool, len(expired))
+	for _, e := range expired {
+		expiredSeq[e.t.Seq] = true
+	}
+	type aggKey struct{ name, labels, kind string }
+	type aggVal struct {
+		sum float64
+		n   int64
+	}
+	agg := make(map[int64]map[aggKey]*aggVal) // window → series → acc
+	var deadSamples []heap.TID
+	err = sampRel.Scan(snap, func(tid heap.TID, payload []byte) (bool, error) {
+		seq, s, err := decodeHistorySample(payload)
+		if err != nil {
+			return false, err
+		}
+		if !expiredSeq[seq] {
+			return false, nil
+		}
+		deadSamples = append(deadSamples, tid)
+		w, isRaw := rollWindow[seq]
+		if !isRaw {
+			return false, nil
+		}
+		m := agg[w]
+		if m == nil {
+			m = make(map[aggKey]*aggVal)
+			agg[w] = m
+		}
+		k := aggKey{s.Name, s.Labels, s.Kind}
+		v := m[k]
+		if v == nil {
+			v = &aggVal{}
+			m[k] = v
+		}
+		v.sum += s.Value
+		v.n++
+		return false, nil
+	})
+	if err != nil {
+		abort(tx)
+		return err
+	}
+
+	// Insert rollup ticks, oldest window first so seq stays time-ordered.
+	windows := make([]int64, 0, len(windowTicks))
+	for w := range windowTicks {
+		windows = append(windows, w)
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	seq := r.seq
+	for _, w := range windows {
+		seq++
+		dropped := false
+		for _, m := range windowTicks[w] {
+			dropped = dropped || m.t.Dropped
+		}
+		tick := HistoryTick{
+			Seq: seq, WallNs: w, IntervalNs: win,
+			Level: HistoryLevelRollup, Dropped: dropped,
+		}
+		if _, err := histRel.Insert(tx.ID(), encodeHistoryTick(tick)); err != nil {
+			abort(tx)
+			return err
+		}
+		keys := make([]aggKey, 0, len(agg[w]))
+		for k := range agg[w] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.name != b.name {
+				return a.name < b.name
+			}
+			if a.labels != b.labels {
+				return a.labels < b.labels
+			}
+			return a.kind < b.kind
+		})
+		for _, k := range keys {
+			v := agg[w][k]
+			val := v.sum // counters: deltas sum across the window
+			if k.kind != obs.SampleCounter {
+				val = v.sum / float64(v.n) // gauges, quantiles: mean
+			}
+			s := obs.HistorySample{Name: k.name, Labels: k.labels, Kind: k.kind, Value: val}
+			if _, err := sampRel.Insert(tx.ID(), encodeHistorySample(seq, s)); err != nil {
+				abort(tx)
+				return err
+			}
+		}
+	}
+	for _, e := range expired {
+		if err := histRel.Delete(tx.ID(), e.tid); err != nil {
+			abort(tx)
+			return err
+		}
+	}
+	for _, tid := range deadSamples {
+		if err := sampRel.Delete(tx.ID(), tid); err != nil {
+			abort(tx)
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	r.seq = seq
+	db.metrics.Counter("history.ticks_expired").Add(int64(len(expired)))
+	db.metrics.Counter("history.rollup_ticks").Add(int64(len(windows)))
+	return nil
+}
+
+// RecordMetricsTick records one metrics-history tick immediately (the
+// recorder goroutine does the same on its interval). Primarily for
+// tests and tools that want deterministic tick placement.
+func (db *DB) RecordMetricsTick() error {
+	if db.hist == nil {
+		return ErrHistoryDisabled
+	}
+	return db.hist.recordTick(nil)
+}
+
+// AppendHistoryTick appends a tick with caller-supplied wall time and
+// samples, bypassing the registry differ — the loader path invbench
+// -regress and CI use to replay an externally captured trajectory
+// (e.g. BENCH_smoke.json) into the history relations.
+func (db *DB) AppendHistoryTick(wallNs, intervalNs int64, samples []obs.HistorySample) (int64, error) {
+	if db.hist == nil {
+		return 0, ErrHistoryDisabled
+	}
+	r := db.hist
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tx, err := db.mgr.Begin()
+	if err != nil {
+		return 0, err
+	}
+	if err := db.ensureHistoryRels(tx); err != nil {
+		abort(tx)
+		return 0, err
+	}
+	if err := r.initSeq(tx.Snapshot()); err != nil {
+		abort(tx)
+		return 0, err
+	}
+	seq := r.seq + 1
+	tick := HistoryTick{Seq: seq, WallNs: wallNs, IntervalNs: intervalNs, Level: HistoryLevelRaw}
+	if _, err := db.dataRel(HistoryRel).Insert(tx.ID(), encodeHistoryTick(tick)); err != nil {
+		abort(tx)
+		return 0, err
+	}
+	for _, s := range samples {
+		if _, err := db.dataRel(HistorySamplesRel).Insert(tx.ID(), encodeHistorySample(seq, s)); err != nil {
+			abort(tx)
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	r.seq = seq
+	return seq, nil
+}
+
+// RegressionResult is DB.CheckRegression's verdict on one series.
+type RegressionResult struct {
+	Series    string  `json:"series"`
+	Windows   int     `json:"windows"`  // baseline points actually used
+	Baseline  float64 `json:"baseline"` // mean of the baseline window
+	Latest    float64 `json:"latest"`   // newest recorded value
+	Ratio     float64 `json:"ratio"`    // latest / baseline (0 if baseline 0)
+	Regressed bool    `json:"regressed"`
+}
+
+// CheckRegression queries the history relations for the named series
+// (sample name; labels are ignored so a plain series loads cleanly) and
+// compares the latest value against the mean of up to `windows` prior
+// values. Regressed when latest/baseline meets threshold (default 1.5,
+// windows default 5) — a slowdown detector: improvements stay quiet.
+func (db *DB) CheckRegression(series string, windows int, threshold float64) (RegressionResult, error) {
+	if windows <= 0 {
+		windows = 5
+	}
+	if threshold <= 0 {
+		threshold = 1.5
+	}
+	res := RegressionResult{Series: series}
+	if _, ok := db.cat.RelationByOID(HistorySamplesRel); !ok {
+		return res, fmt.Errorf("inversion: no metrics history on this volume (%s missing)", HistorySamplesRelName)
+	}
+	type pt struct {
+		seq int64
+		v   float64
+	}
+	var pts []pt
+	snap := db.mgr.CurrentSnapshot()
+	err := db.dataRel(HistorySamplesRel).Scan(snap, func(_ heap.TID, payload []byte) (bool, error) {
+		seq, s, err := decodeHistorySample(payload)
+		if err != nil {
+			return false, err
+		}
+		if s.Name == series {
+			pts = append(pts, pt{seq, s.Value})
+		}
+		return false, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if len(pts) < 2 {
+		return res, fmt.Errorf("inversion: series %q has %d recorded points (need ≥ 2)", series, len(pts))
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].seq < pts[j].seq })
+	res.Latest = pts[len(pts)-1].v
+	base := pts[:len(pts)-1]
+	if len(base) > windows {
+		base = base[len(base)-windows:]
+	}
+	var sum float64
+	for _, p := range base {
+		sum += p.v
+	}
+	res.Windows = len(base)
+	res.Baseline = sum / float64(len(base))
+	if res.Baseline > 0 {
+		res.Ratio = res.Latest / res.Baseline
+		res.Regressed = res.Ratio >= threshold
+	}
+	return res, nil
+}
+
+// StoredSysRel resolves a heap-backed system relation by name for the
+// query engine: the history relations are real MVCC heaps, so the
+// normal retrieve path (including asof — a historical snapshot from
+// Manager.AsOf) scans them like any stored relation; no bespoke reader.
+// ok is false for unknown names and while the relations do not exist
+// (history never enabled on this volume).
+func (db *DB) StoredSysRel(name string) (cols []sysview.Column, scan func(*txn.Snapshot, func([]value.V) (bool, error)) error, ok bool) {
+	var oid device.OID
+	var decode func([]byte) ([]value.V, error)
+	switch name {
+	case HistoryRelName:
+		oid = HistoryRel
+		cols = []sysview.Column{
+			{Name: "seq", Kind: value.KindInt, Doc: "tick sequence number (monotone across recoveries)"},
+			{Name: "wall_ns", Kind: value.KindInt, Doc: "wall-clock unix nanoseconds of the tick"},
+			{Name: "interval_ns", Kind: value.KindInt, Doc: "recorder interval (rollup window width for level 1)"},
+			{Name: "level", Kind: value.KindInt, Doc: "0 = raw tick, 1 = retention rollup"},
+			{Name: "dropped", Kind: value.KindBool, Doc: "true when recording attempts before this tick were lost"},
+		}
+		decode = func(b []byte) ([]value.V, error) {
+			t, err := decodeHistoryTick(b)
+			if err != nil {
+				return nil, err
+			}
+			return []value.V{
+				value.Int(t.Seq), value.Int(t.WallNs), value.Int(t.IntervalNs),
+				value.Int(int64(t.Level)), value.Bool(t.Dropped),
+			}, nil
+		}
+	case HistorySamplesRelName:
+		oid = HistorySamplesRel
+		cols = []sysview.Column{
+			{Name: "seq", Kind: value.KindInt, Doc: "tick this sample belongs to (join to inv_history.seq)"},
+			{Name: "name", Kind: value.KindString, Doc: "metric name"},
+			{Name: "labels", Kind: value.KindString, Doc: "sample labels (quantile label, wait op/rel, …)"},
+			{Name: "kind", Kind: value.KindString, Doc: "counter (delta) | gauge (point) | quantile (point)"},
+			{Name: "value", Kind: value.KindFloat, Doc: "sample value"},
+		}
+		decode = func(b []byte) ([]value.V, error) {
+			seq, s, err := decodeHistorySample(b)
+			if err != nil {
+				return nil, err
+			}
+			return []value.V{
+				value.Int(seq), value.Str(s.Name), value.Str(s.Labels),
+				value.Str(s.Kind), value.Float(s.Value),
+			}, nil
+		}
+	default:
+		return nil, nil, false
+	}
+	if _, exists := db.cat.RelationByOID(oid); !exists {
+		return nil, nil, false
+	}
+	rel := db.dataRel(oid)
+	scan = func(snap *txn.Snapshot, yield func([]value.V) (bool, error)) error {
+		return rel.Scan(snap, func(_ heap.TID, payload []byte) (bool, error) {
+			row, err := decode(payload)
+			if err != nil {
+				return false, err
+			}
+			return yield(row)
+		})
+	}
+	return cols, scan, true
+}
+
+// historySeriesRows materializes inv_history_meta: one row per recorded
+// series (name, labels, kind) with its tick span and newest value —
+// the map of what the history relations currently hold. Empty (not an
+// error) while history has never been enabled on this volume.
+func (db *DB) historySeriesRows() ([]sysview.HistorySeriesRow, error) {
+	if _, ok := db.cat.RelationByOID(HistorySamplesRel); !ok {
+		return nil, nil
+	}
+	type key struct{ name, labels, kind string }
+	acc := make(map[key]*sysview.HistorySeriesRow)
+	snap := db.mgr.CurrentSnapshot()
+	err := db.dataRel(HistorySamplesRel).Scan(snap, func(_ heap.TID, payload []byte) (bool, error) {
+		seq, s, err := decodeHistorySample(payload)
+		if err != nil {
+			return false, err
+		}
+		k := key{s.Name, s.Labels, s.Kind}
+		r := acc[k]
+		if r == nil {
+			r = &sysview.HistorySeriesRow{
+				Name: s.Name, Labels: s.Labels, Kind: s.Kind,
+				FirstSeq: seq, LastSeq: seq, LastValue: s.Value,
+			}
+			acc[k] = r
+		}
+		r.Ticks++
+		if seq < r.FirstSeq {
+			r.FirstSeq = seq
+		}
+		if seq >= r.LastSeq {
+			r.LastSeq = seq
+			r.LastValue = s.Value
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sysview.HistorySeriesRow, 0, len(acc))
+	for _, r := range acc {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Labels != b.Labels {
+			return a.Labels < b.Labels
+		}
+		return a.Kind < b.Kind
+	})
+	return out, nil
+}

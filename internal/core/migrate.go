@@ -127,6 +127,22 @@ func (db *DB) Vacuum() (VacuumStats, error) {
 		out.merge(stats)
 		out.Relations++
 	}
+	// Metrics-history relations (when the volume has them): ticks the
+	// retention ladder deleted are discarded, never archived — the
+	// history relations are themselves the archive of the registry, and
+	// the budget is the point of retention.
+	for _, oid := range []device.OID{HistoryRel, HistorySamplesRel} {
+		if _, ok := db.cat.RelationByOID(oid); !ok {
+			continue
+		}
+		stats, err := db.dataRel(oid).Vacuum(horizon, heap.VacuumDiscard, nil, vx.ID(), nil)
+		if err != nil {
+			abort(vx)
+			return out, err
+		}
+		out.merge(stats)
+		out.Relations++
+	}
 	if err := vx.Commit(); err != nil {
 		return out, err
 	}

@@ -285,7 +285,7 @@ func (e *Engine) runRetrieve(st *retrieveStmt) (*Result, error) {
 func (e *Engine) runRetrieveVirtual(st *retrieveStmt) (*Result, error) {
 	rel, ok := e.db.SysViews().Lookup(st.fromRel)
 	if !ok {
-		return nil, fmt.Errorf("query: unknown virtual relation %q (retrieve (relation) from c in inv_columns lists them)", st.fromRel)
+		return e.runRetrieveStored(st)
 	}
 	if st.asofSet {
 		// Virtual relations materialize live engine state; there is no
@@ -322,6 +322,51 @@ func (e *Engine) runRetrieveVirtual(st *retrieveStmt) (*Result, error) {
 		if err := c.add(virtualScope{relName: st.fromRel, varName: st.fromVar, cols: idx, row: row}); err != nil {
 			return nil, err
 		}
+	}
+	c.finish()
+	return c.res, nil
+}
+
+// runRetrieveStored executes a retrieve whose from clause ranges over a
+// heap-backed stored system relation (the metrics-history relations).
+// Unlike the virtual catalogs, these are real MVCC heaps, so asof works
+// through the ordinary historical snapshot — the same time-travel path
+// file relations use, no bespoke reader.
+func (e *Engine) runRetrieveStored(st *retrieveStmt) (*Result, error) {
+	cols, scan, ok := e.db.StoredSysRel(st.fromRel)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown virtual relation %q (retrieve (relation) from c in inv_columns lists them)", st.fromRel)
+	}
+	idx := make(map[string]int, len(cols))
+	for i, col := range cols {
+		idx[col.Name] = i
+	}
+	check := virtualScope{relName: st.fromRel, varName: st.fromVar, cols: idx}
+	for _, t := range st.targets {
+		if err := checkVirtualExpr(check, t.e); err != nil {
+			return nil, err
+		}
+	}
+	for _, ex := range []expr{st.where, st.sortBy} {
+		if ex != nil {
+			if err := checkVirtualExpr(check, ex); err != nil {
+				return nil, err
+			}
+		}
+	}
+	snap := e.db.Manager().CurrentSnapshot()
+	if st.asofSet {
+		snap = e.db.Manager().AsOf(st.asof)
+	}
+	c := newCollector(st)
+	err := scan(snap, func(row []value.V) (bool, error) {
+		if err := c.add(virtualScope{relName: st.fromRel, varName: st.fromVar, cols: idx, row: row}); err != nil {
+			return false, err
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	c.finish()
 	return c.res, nil

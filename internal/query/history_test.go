@@ -1,0 +1,149 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// newHistEnv is newEnv with metrics history enabled (manual ticks: the
+// interval is far past the test's lifetime).
+func newHistEnv(t *testing.T) (*core.DB, *core.Session, *Engine) {
+	t.Helper()
+	sw := device.NewSwitch()
+	sw.Register(device.NewMem(nil, 0))
+	var mu sync.Mutex
+	tick := int64(1 << 30)
+	opts := Options(&mu, &tick)
+	opts.MetricsHistory = time.Hour
+	db, err := core.Open(sw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	return db, db.NewSession("mao"), New(db)
+}
+
+func TestRetrieveHistorySamples(t *testing.T) {
+	db, s, e := newHistEnv(t)
+	db.Obs().Counter("test.q.counter").Add(10)
+	if err := db.RecordMetricsTick(); err != nil {
+		t.Fatal(err)
+	}
+	db.Obs().Counter("test.q.counter").Add(7)
+	if err := db.RecordMetricsTick(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustRun(t, e, s,
+		`retrieve (s.seq, s.kind, s.value) from s in inv_history_samples where s.name = "test.q.counter" sort by s.seq`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].I != 1 || res.Rows[0][1].S != "counter" || res.Rows[0][2].F != 10 {
+		t.Fatalf("row 0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].I != 2 || res.Rows[1][2].F != 7 {
+		t.Fatalf("row 1 = %v", res.Rows[1])
+	}
+
+	// Tick metadata through the same path, with a where over the join key.
+	res = mustRun(t, e, s,
+		`retrieve (h.seq, h.level, h.dropped) from h in inv_history where h.seq = 2`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 || res.Rows[0][1].I != 0 || res.Rows[0][2].B {
+		t.Fatalf("tick row = %v", res.Rows)
+	}
+
+	// The meta catalog (a live virtual relation) describes the series.
+	res = mustRun(t, e, s,
+		`retrieve (m.name, m.ticks, m.last_value) from m in inv_history_meta where m.name = "test.q.counter"`)
+	if len(res.Rows) != 1 || res.Rows[0][1].I != 2 || res.Rows[0][2].F != 7 {
+		t.Fatalf("meta row = %v", res.Rows)
+	}
+}
+
+func TestRetrieveHistoryAsOf(t *testing.T) {
+	db, s, e := newHistEnv(t)
+	db.Obs().Counter("test.asof.counter").Add(1)
+	if err := db.RecordMetricsTick(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Manager().LastCommitTime()
+	db.Obs().Counter("test.asof.counter").Add(1)
+	if err := db.RecordMetricsTick(); err != nil {
+		t.Fatal(err)
+	}
+
+	now := mustRun(t, e, s,
+		`retrieve (s.seq) from s in inv_history_samples where s.name = "test.asof.counter"`)
+	if len(now.Rows) != 2 {
+		t.Fatalf("now rows = %v", now.Rows)
+	}
+	then := mustRun(t, e, s, fmt.Sprintf(
+		`retrieve (s.seq) from s in inv_history_samples where s.name = "test.asof.counter" asof %d`, before))
+	if len(then.Rows) != 1 || then.Rows[0][0].I != 1 {
+		t.Fatalf("asof rows = %v", then.Rows)
+	}
+
+	// asof over a file relation still works while history records: the
+	// two time-travel paths share the same MVCC machinery.
+	if err := s.WriteFile("/old", []byte("x"), core.CreateOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	fileBefore := db.Manager().LastCommitTime()
+	if err := db.RecordMetricsTick(); err != nil { // history keeps recording
+		t.Fatal(err)
+	}
+	if err := s.Unlink("/old"); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e, s, fmt.Sprintf(
+		`retrieve (filename) where not isdir(file) asof %d`, fileBefore))
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "old" {
+		t.Fatalf("file asof rows = %v", res.Rows)
+	}
+}
+
+func TestRetrieveHistoryErrors(t *testing.T) {
+	_, s, e := newHistEnv(t)
+
+	// Before any tick the relations do not exist: same unknown-relation
+	// error as any bad name.
+	_, err := e.Run(s, `retrieve (s.seq) from s in inv_history_samples`)
+	if err == nil || !strings.Contains(err.Error(), "unknown virtual relation") {
+		t.Fatalf("pre-enable err = %v", err)
+	}
+
+	// A bad column errors statically even on an empty relation.
+	dbNudge(t, e, s)
+	_, err = e.Run(s, `retrieve (s.bogus) from s in inv_history_samples`)
+	if err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Fatalf("bad column err = %v", err)
+	}
+
+	// Virtual (live-only) relations still reject asof loudly.
+	_, err = e.Run(s, `retrieve (m.name) from m in inv_history_meta asof 12345`)
+	if err == nil || !strings.Contains(err.Error(), "live-only") {
+		t.Fatalf("virtual asof err = %v", err)
+	}
+}
+
+// dbNudge records one tick so the stored relations exist.
+func dbNudge(t *testing.T, e *Engine, s *core.Session) {
+	t.Helper()
+	res, err := e.Run(s, `retrieve (relation) from c in inv_columns where c.relation = "inv_history_meta" limit 1`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("inv_history_meta not catalogued: %v %v", res, err)
+	}
+	if err := engineDB(e).RecordMetricsTick(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// engineDB exposes the engine's database to the history tests.
+func engineDB(e *Engine) *core.DB { return e.db }

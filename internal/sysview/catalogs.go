@@ -546,3 +546,54 @@ func NewColumnsCatalog(reg *Registry) VirtualRel {
 		},
 	}
 }
+
+// HistorySeriesRow is one recorded metrics-history series: a (name,
+// labels, kind) triple with its tick span and newest value. The core
+// layer materializes these from the inv_history_samples relation.
+type HistorySeriesRow struct {
+	Name      string
+	Labels    string
+	Kind      string
+	Ticks     int64
+	FirstSeq  int64
+	LastSeq   int64
+	LastValue float64
+}
+
+// NewHistoryMeta returns inv_history_meta: the map of what the stored
+// metrics history currently holds — one row per recorded series. Empty
+// while metrics history has never been enabled on the volume.
+func NewHistoryMeta(fetch func() ([]HistorySeriesRow, error)) VirtualRel {
+	return &funcRel{
+		name: "inv_history_meta",
+		doc:  "recorded metrics-history series: name, labels, kind, tick span, newest value",
+		cols: []Column{
+			{"name", value.KindString, "metric name"},
+			{"labels", value.KindString, "sample labels (quantile label, wait op/rel, …)"},
+			{"kind", value.KindString, "counter (delta) | gauge (point) | quantile (point)"},
+			{"ticks", value.KindInt, "recorded sample count for this series"},
+			{"first_seq", value.KindInt, "oldest tick seq holding the series"},
+			{"last_seq", value.KindInt, "newest tick seq holding the series"},
+			{"last_value", value.KindFloat, "value at the newest tick"},
+		},
+		rows: func() ([][]value.V, error) {
+			series, err := fetch()
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]value.V, 0, len(series))
+			for _, s := range series {
+				out = append(out, []value.V{
+					value.Str(s.Name),
+					value.Str(s.Labels),
+					value.Str(s.Kind),
+					value.Int(s.Ticks),
+					value.Int(s.FirstSeq),
+					value.Int(s.LastSeq),
+					value.Float(s.LastValue),
+				})
+			}
+			return out, nil
+		},
+	}
+}

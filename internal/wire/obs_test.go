@@ -151,9 +151,9 @@ func TestSpanAttributionCoversWall(t *testing.T) {
 		t.Skip("real-sleep device")
 	}
 	// Large enough that the request's uncharged CPU (chunk encoding,
-	// compression, catalog work — a few ms total, ~10x that under
-	// -race instrumentation) stays under the 5% budget next to the
-	// charged device time.
+	// compression, catalog work — a few ms total) stays under the 5%
+	// budget next to the charged device time. Race builds inflate that
+	// CPU 10-20x, so the floor is relaxed there (race_on_test.go).
 	const delay = 25 * time.Millisecond
 
 	sw := device.NewSwitch()
@@ -228,9 +228,10 @@ func TestSpanAttributionCoversWall(t *testing.T) {
 			sp.Op, obs.FormatNs(sp.WallNs), obs.FormatNs(sp.LockWaitNs),
 			obs.FormatNs(sp.BufLoadNs), obs.FormatNs(sp.BufWriteNs),
 			obs.FormatNs(sp.CommitNs), ratio)
-		if ratio < 0.95 {
-			t.Errorf("op %s: per-layer sum %s covers only %.1f%% of wall %s",
-				sp.Op, obs.FormatNs(sum), ratio*100, obs.FormatNs(sp.WallNs))
+		if ratio < spanAttributionFloor {
+			t.Errorf("op %s: per-layer sum %s covers only %.1f%% of wall %s (floor %.0f%%)",
+				sp.Op, obs.FormatNs(sum), ratio*100, obs.FormatNs(sp.WallNs),
+				spanAttributionFloor*100)
 		}
 		if ratio > 1.02 {
 			t.Errorf("op %s: per-layer sum %s exceeds wall %s (double-charged?)",

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// spanAttributionFloor in non-race builds is the paper-strength check:
+// untimed CPU may hide at most 5% of a slow request's wall time. See
+// race_on_test.go for why the race build relaxes it.
+const spanAttributionFloor = 0.95

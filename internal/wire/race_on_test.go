@@ -1,0 +1,11 @@
+//go:build race
+
+package wire
+
+// spanAttributionFloor is the minimum per-layer-sum/wall ratio
+// TestSpanAttributionCoversWall accepts. Race instrumentation inflates
+// the request's uncharged CPU (chunk encoding, catalog work) 10-20x
+// while the charged device sleeps stay fixed, so the floor drops; the
+// attribution plumbing itself is identical in both builds and the
+// strict 5% budget still runs in every non-race pass.
+const spanAttributionFloor = 0.85

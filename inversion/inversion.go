@@ -159,6 +159,32 @@ type (
 	// FlightBundle is a dumped flight-recorder snapshot: the recent
 	// span/wait/lifecycle timeline plus an optional wait profile.
 	FlightBundle = obs.FlightBundle
+	// HistorySample is one recorded metrics-history point (counter
+	// delta, gauge point, or histogram quantile).
+	HistorySample = obs.HistorySample
+	// HistoryDiffer converts successive registry snapshots into
+	// per-tick samples — the recorder's diffing layer, reusable by
+	// monitors (invtop) that want the same delta view of live data.
+	HistoryDiffer = obs.HistoryDiffer
+	// HistoryBudget is the retention ladder for recorded history
+	// (Options.HistoryBudget; zero values select the defaults).
+	HistoryBudget = core.HistoryBudget
+	// RegressionResult is DB.CheckRegression's verdict on one series.
+	RegressionResult = core.RegressionResult
+)
+
+// NewHistoryDiffer returns a differ with no previous tick.
+func NewHistoryDiffer() *HistoryDiffer { return obs.NewHistoryDiffer() }
+
+// ErrHistoryDisabled is returned by metrics-history APIs when the
+// database was opened without Options.MetricsHistory.
+var ErrHistoryDisabled = core.ErrHistoryDisabled
+
+// Names of the stored metrics-history relations (queryable with the
+// ordinary retrieve path, including asof, once history is enabled).
+const (
+	HistoryRelName        = core.HistoryRelName
+	HistorySamplesRelName = core.HistorySamplesRelName
 )
 
 // DefaultWaitSamplingInterval is the sampler interval the daemon uses
